@@ -1,0 +1,103 @@
+"""Experiment ABL-POLICY (design-choice ablation, DESIGN.md §4).
+
+Not a table of the paper itself, but the ablation its methodology implies:
+hold everything else fixed and sweep one parameter axis at a time, to show
+which axes move which metrics.  This is the evidence behind the paper's
+choice of parameter set (pool count, placement, fit, free-list order,
+coalescing, splitting, chunk size).
+
+Run with ``pytest benchmarks/test_ablation_policies.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.core.space import default_parameter_space
+
+from .common import easyport_engine, print_table
+
+#: The configuration every sweep starts from.
+BASE_POINT = {
+    "num_dedicated_pools": 3,
+    "dedicated_pool_kind": "fixed",
+    "dedicated_pool_placement": "scratchpad",
+    "general_free_list": "lifo",
+    "general_fit": "first_fit",
+    "general_coalescing": "immediate",
+    "general_splitting": "always",
+    "chunk_size": 8192,
+}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return easyport_engine(sample=None, compact=True)
+
+
+def sweep_axis(engine, axis):
+    """Profile the base point with every value of ``axis`` substituted."""
+    space = default_parameter_space()
+    results = []
+    for value in space.parameter(axis).values:
+        point = dict(BASE_POINT)
+        point[axis] = value
+        record = engine.run_point(point, label=f"abl_{axis}_{value}")
+        results.append((value, record))
+    return results
+
+
+AXES = [
+    "num_dedicated_pools",
+    "dedicated_pool_placement",
+    "general_free_list",
+    "general_fit",
+    "general_coalescing",
+    "general_splitting",
+    "chunk_size",
+]
+
+
+def test_single_axis_ablation(benchmark, engine):
+    def run_all_sweeps():
+        return {axis: sweep_axis(engine, axis) for axis in AXES}
+
+    sweeps = benchmark.pedantic(run_all_sweeps, rounds=1, iterations=1)
+
+    for axis, results in sweeps.items():
+        rows = [
+            (str(value),
+             record.metrics.accesses,
+             record.metrics.footprint,
+             f"{record.metrics.energy_nj / 1e3:.1f}",
+             record.metrics.cycles)
+            for value, record in results
+        ]
+        print_table(
+            f"Ablation: sweep of '{axis}' (all other parameters fixed)",
+            rows,
+            ("value", "accesses", "footprint(B)", "energy(uJ)", "cycles"),
+        )
+
+    # Shape assertions for the key axes.
+    by_pools = {value: record for value, record in sweeps["num_dedicated_pools"]}
+    most_pools = max(by_pools)
+    assert by_pools[most_pools].metrics.accesses < by_pools[0].metrics.accesses, (
+        "dedicated pools must cut allocator accesses"
+    )
+
+    by_placement = {value: record for value, record in sweeps["dedicated_pool_placement"]}
+    assert (
+        by_placement["scratchpad"].metrics.energy_nj < by_placement["main"].metrics.energy_nj
+    ), "scratchpad mapping must cut energy"
+
+    by_coalescing = {value: record for value, record in sweeps["general_coalescing"]}
+    assert (
+        by_coalescing["immediate"].metrics.footprint <= by_coalescing["never"].metrics.footprint
+    ), "coalescing must not increase footprint"
+    assert (
+        by_coalescing["never"].metrics.accesses <= by_coalescing["immediate"].metrics.accesses
+    ), "skipping coalescing must not increase accesses"
+
+    by_fit = {value: record for value, record in sweeps["general_fit"]}
+    assert by_fit["first_fit"].metrics.accesses <= by_fit["worst_fit"].metrics.accesses, (
+        "an exhaustive fit scan cannot be cheaper than first fit"
+    )

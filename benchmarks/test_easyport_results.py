@@ -1,0 +1,100 @@
+"""Experiment EASYPORT-RANGE / EASYPORT-PARETO15 / EASYPORT-GAINS (paper §3).
+
+Regenerates the Easyport case-study figures: the metric ranges across all
+explored configurations ("a range in the total memory footprint of a factor
+11 and for the memory accesses of a factor 54"), the number of
+Pareto-optimal configurations ("15 Pareto-optimal configurations"), and the
+improvement factors / percentage decreases within the Pareto-optimal set
+(footprint /2.9, accesses /4.1, energy -71.74 %, execution time -27.92 %).
+
+Run with ``pytest benchmarks/test_easyport_results.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.core.tradeoff import TradeoffAnalysis
+
+from .common import FULL_SPACE_SAMPLE, easyport_engine, print_table
+
+#: Paper-reported values, for the side-by-side table.
+PAPER = {
+    "footprint_range_factor": 11.0,
+    "accesses_range_factor": 54.0,
+    "pareto_count": 15,
+    "footprint_pareto_factor": 2.9,
+    "accesses_pareto_factor": 4.1,
+    "energy_pareto_percent": 71.74,
+    "cycles_pareto_percent": 27.92,
+}
+
+
+@pytest.fixture(scope="module")
+def easyport_analysis():
+    engine = easyport_engine(sample=FULL_SPACE_SAMPLE)
+    database = engine.explore()
+    return database, TradeoffAnalysis(database)
+
+
+def test_easyport_case_study(benchmark, easyport_analysis):
+    database, _ = easyport_analysis
+
+    def run_exploration():
+        # Re-run a reduced exploration so the benchmark measures the tool's
+        # end-to-end runtime per configuration without repeating the full
+        # sweep on every benchmark round.
+        engine = easyport_engine(sample=25)
+        return engine.explore()
+
+    sampled = benchmark.pedantic(run_exploration, rounds=1, iterations=1)
+    assert len(sampled) == 25
+
+    analysis = TradeoffAnalysis(database)
+    accesses = analysis.metric_tradeoff("accesses")
+    footprint = analysis.metric_tradeoff("footprint")
+    energy = analysis.metric_tradeoff("energy_nj")
+    cycles = analysis.metric_tradeoff("cycles")
+
+    rows = [
+        ("explored configurations", len(database), "12960 (full space)"),
+        ("feasible configurations", len(database.feasible_records()), "-"),
+        ("Pareto-optimal configurations", analysis.pareto_count, PAPER["pareto_count"]),
+        ("accesses range (all configs)", f"x{accesses.overall_range_factor:.1f}",
+         f"x{PAPER['accesses_range_factor']}"),
+        ("footprint range (all configs)", f"x{footprint.overall_range_factor:.1f}",
+         f"x{PAPER['footprint_range_factor']}"),
+        ("accesses gain within Pareto set", f"x{accesses.pareto_gain_factor:.2f}",
+         f"x{PAPER['accesses_pareto_factor']}"),
+        ("footprint gain within Pareto set", f"x{footprint.pareto_gain_factor:.2f}",
+         f"x{PAPER['footprint_pareto_factor']}"),
+        ("memory energy decrease within Pareto set", f"{energy.pareto_gain_percent:.2f}%",
+         f"{PAPER['energy_pareto_percent']}%"),
+        ("execution time decrease within Pareto set", f"{cycles.pareto_gain_percent:.2f}%",
+         f"{PAPER['cycles_pareto_percent']}%"),
+    ]
+    print_table(
+        "Easyport case study (paper section 3, first study)",
+        rows,
+        ("quantity", "measured", "paper"),
+    )
+
+    # Shape assertions: the qualitative structure of the paper's result.
+    assert analysis.pareto_count >= 5, "a non-trivial Pareto front must exist"
+    assert accesses.overall_range_factor > 5.0, "accesses must span a large range"
+    assert footprint.overall_range_factor > 3.0, "footprint must span a large range"
+    assert accesses.pareto_gain_factor > 1.3, "accesses must still trade off within the front"
+    assert footprint.pareto_gain_factor > 1.3, "footprint must still trade off within the front"
+    assert energy.pareto_gain_percent > 30.0, "energy savings must be substantial"
+    assert 5.0 < cycles.pareto_gain_percent < 80.0, "time savings must be present but diluted"
+
+    # Who wins: the access-optimal Pareto point uses dedicated pools, the
+    # footprint-optimal one uses fewer (or equally many) pools.
+    best_accesses = analysis.best_configuration("accesses")
+    best_footprint = analysis.best_configuration("footprint")
+    assert best_accesses.parameters["num_dedicated_pools"] > 0
+    assert (
+        best_footprint.parameters["num_dedicated_pools"]
+        <= best_accesses.parameters["num_dedicated_pools"]
+    )
+    # The energy-optimal Pareto point maps its dedicated pools on the scratchpad.
+    best_energy = analysis.best_configuration("energy_nj")
+    assert best_energy.parameters["dedicated_pool_placement"] == "scratchpad"

@@ -1,0 +1,72 @@
+"""Experiment SCALE-10K (paper §1 / §2).
+
+The paper's claim of scale: the automation gives designers "a real choice
+between tens of thousands of highly customized DM allocators".  This
+benchmark checks the size of the default parameter space, measures how fast
+the tool enumerates it and constructs allocators from its points, and
+measures the per-configuration profiling cost — together these determine
+how long an exhaustive run of the full space would take.
+
+Run with ``pytest benchmarks/test_exploration_scale.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.core.factory import AllocatorFactory
+from repro.core.space import default_parameter_space
+from repro.memhier.hierarchy import embedded_two_level
+
+from .common import easyport_engine, easyport_trace, print_table
+
+HOT_SIZES = [28, 44, 74, 492, 1500]
+
+
+def test_space_enumeration_and_construction(benchmark):
+    space = default_parameter_space()
+    hierarchy = embedded_two_level()
+    factory = AllocatorFactory(hierarchy)
+    from repro.core.configuration import configuration_from_point
+
+    sample = space.sample(200, seed=1)
+
+    def build_sampled_allocators():
+        built = 0
+        for point in sample:
+            configuration = configuration_from_point(point, HOT_SIZES)
+            factory_result = factory.build(configuration)
+            built += len(factory_result.allocator.pools)
+        return built
+
+    pools_built = benchmark(build_sampled_allocators)
+    assert pools_built >= 200
+
+    seconds = benchmark.stats.stats.mean
+    per_configuration = seconds / len(sample)
+    rows = [
+        ("default parameter space size", space.size(), "tens of thousands"),
+        ("parameters (arrays)", len(space), "-"),
+        ("allocator construction time / configuration", f"{per_configuration * 1e3:.2f} ms", "-"),
+        ("projected construction time, full space", f"{per_configuration * space.size():.0f} s", "-"),
+    ]
+    print_table("Exploration scale (paper section 1)", rows, ("quantity", "measured", "paper"))
+
+    assert space.size() >= 10_000
+
+
+def test_per_configuration_profiling_cost(benchmark):
+    engine = easyport_engine(sample=None, compact=True)
+    trace = easyport_trace()
+    point = engine.space.point_at(0)
+
+    record = benchmark(engine.run_point, point)
+
+    seconds = benchmark.stats.stats.mean
+    full_space = default_parameter_space().size()
+    rows = [
+        ("trace events profiled per configuration", len(trace), "-"),
+        ("profiling time / configuration", f"{seconds * 1e3:.1f} ms", "-"),
+        ("projected exhaustive run of the full space",
+         f"{seconds * full_space / 60:.1f} min", "overnight simulation"),
+    ]
+    print_table("Per-configuration simulation cost", rows, ("quantity", "measured", "paper"))
+    assert record.metrics.accesses > 0

@@ -1,0 +1,70 @@
+"""Experiment FIG1-PARETO (paper Figure 1, lower part).
+
+Regenerates the Pareto-optimal curve of memory accesses versus memory
+footprint for the Easyport exploration: the full cloud of explored
+configurations with the non-dominated ones highlighted, printed as an ASCII
+plot plus the ordered list of curve points (the series a GUI/gnuplot plot
+would draw).
+
+Run with ``pytest benchmarks/test_fig1_easyport_pareto.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.core.pareto import hypervolume_2d, sort_front
+from repro.gui.ascii_plots import pareto_plot
+
+from .common import FULL_SPACE_SAMPLE, easyport_engine, print_table
+
+FIG1_METRICS = ["accesses", "footprint"]
+
+
+@pytest.fixture(scope="module")
+def fig1_database():
+    return easyport_engine(sample=FULL_SPACE_SAMPLE).explore()
+
+
+def test_fig1_pareto_curve(benchmark, fig1_database):
+    database = fig1_database
+
+    def extract_front():
+        return database.pareto_records(FIG1_METRICS)
+
+    front = benchmark.pedantic(extract_front, rounds=3, iterations=1)
+
+    # The curve as the paper's figure plots it: footprint on one axis,
+    # accesses on the other, sorted along the access axis.
+    curve = sort_front(front, key=lambda r: r.metric_vector(FIG1_METRICS), objective_index=0)
+    rows = [
+        (record.configuration_id,
+         record.metrics.accesses,
+         record.metrics.footprint,
+         record.parameters["num_dedicated_pools"],
+         record.parameters["dedicated_pool_placement"],
+         record.parameters["general_fit"])
+        for record in curve
+    ]
+    print_table(
+        "Figure 1 (lower part): Pareto-optimal accesses/footprint curve (Easyport)",
+        rows,
+        ("configuration", "accesses", "footprint(B)", "dedicated", "placement", "fit"),
+    )
+
+    points = [(r.metrics.accesses, r.metrics.footprint) for r in database.feasible_records()]
+    print()
+    print(pareto_plot(points, x_label="memory accesses", y_label="memory footprint (bytes)"))
+
+    # Shape assertions: a genuine curve exists and is monotone after sorting
+    # (more accesses never buys more footprint along a Pareto front).
+    assert len(front) >= 4
+    footprints = [record.metrics.footprint for record in curve]
+    assert all(a >= b for a, b in zip(footprints, footprints[1:]))
+
+    reference = (
+        max(p[0] for p in points) * 1.01,
+        max(p[1] for p in points) * 1.01,
+    )
+    volume = hypervolume_2d(
+        [(r.metrics.accesses, r.metrics.footprint) for r in front], reference
+    )
+    assert volume > 0

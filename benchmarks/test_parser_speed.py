@@ -1,0 +1,93 @@
+"""Experiment PARSE-SPEED (paper §2).
+
+The paper stresses that its Perl/O'Caml result parser processes the raw
+profiling data of an exploration — "which can reach Gigabytes for one single
+configuration" — in under 20 seconds.  This benchmark writes a large
+profiling log (hundreds of thousands of per-event records plus the
+per-configuration summaries) and measures the streaming parser on it, then
+extrapolates the measured throughput to a 1 GB log.
+
+Run with ``pytest benchmarks/test_parser_speed.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.profiling.logformat import log_to_string
+from repro.profiling.metrics import LevelMetrics, MetricSet, ProfileResult
+from repro.profiling.parser import ProfilingLogParser
+
+from .common import print_table
+
+#: Number of configurations whose results appear in the synthetic log.
+CONFIGURATIONS = 200
+
+#: Raw event records echoed per configuration (this is what blows logs up).
+EVENTS_PER_CONFIGURATION = 2000
+
+
+def synthetic_results():
+    results = []
+    for index in range(CONFIGURATIONS):
+        result = ProfileResult(configuration_id=f"cfg{index:05d}", trace_name="easyport")
+        result.totals = MetricSet(
+            accesses=10_000 + index,
+            footprint=64_000 + index * 13,
+            energy_nj=1e6 + index,
+            cycles=5_000_000 + index,
+        )
+        result.per_level["l1_scratchpad"] = LevelMetrics(
+            "l1_scratchpad", reads=4000, writes=3000, footprint=16_000, energy_nj=350.0
+        )
+        result.per_level["main_memory"] = LevelMetrics(
+            "main_memory", reads=2000, writes=1000, footprint=48_000, energy_nj=5600.0
+        )
+        result.per_pool["dedicated_74B"] = {
+            "module": "l1_scratchpad", "accesses": 5000, "peak_footprint": 16_000,
+        }
+        result.per_pool["general"] = {
+            "module": "main_memory", "accesses": 5000 + index, "peak_footprint": 48_000,
+        }
+        results.append(result)
+    return results
+
+
+@pytest.fixture(scope="module")
+def big_log():
+    from repro.profiling.events import alloc, free
+    from repro.profiling.tracer import AllocationTrace
+
+    trace = AllocationTrace(name="easyport")
+    for i in range(EVENTS_PER_CONFIGURATION // 2):
+        trace.append(alloc(i, 64 + (i % 7) * 16, timestamp=i))
+    for i in range(EVENTS_PER_CONFIGURATION // 2):
+        trace.append(free(i, timestamp=EVENTS_PER_CONFIGURATION + i))
+    return log_to_string(synthetic_results(), trace=trace, include_events=True)
+
+
+def test_parser_throughput(benchmark, big_log):
+    parser = ProfilingLogParser()
+
+    parsed = benchmark(parser.parse_string, big_log)
+
+    assert len(parsed.results) == CONFIGURATIONS
+    assert parsed.event_lines == CONFIGURATIONS * EVENTS_PER_CONFIGURATION
+
+    log_bytes = len(big_log.encode("utf-8"))
+    seconds = benchmark.stats.stats.mean
+    throughput = log_bytes / seconds
+    projected_1gb = (1 << 30) / throughput
+
+    rows = [
+        ("log size parsed", f"{log_bytes / (1 << 20):.1f} MB", "Gigabytes"),
+        ("lines parsed", parsed.total_lines, "-"),
+        ("parse time", f"{seconds:.3f} s", "-"),
+        ("throughput", f"{throughput / (1 << 20):.1f} MB/s", "-"),
+        ("projected time for a 1 GB log", f"{projected_1gb:.1f} s", "< 20 s"),
+    ]
+    print_table("Profiling-log parsing speed (paper section 2)", rows,
+                ("quantity", "measured", "paper"))
+
+    # Shape assertion: parsing must be I/O-bound streaming, i.e. fast enough
+    # that a gigabyte-scale log stays within the same order of magnitude as
+    # the paper's 20-second budget on era-appropriate hardware.
+    assert projected_1gb < 200.0

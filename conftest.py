@@ -1,0 +1,15 @@
+"""Pytest root configuration.
+
+Makes the test and benchmark suites runnable even when the package has not
+been installed (e.g. on offline machines where ``pip install -e .`` cannot
+build an editable wheel): if ``repro`` is not importable, the ``src/``
+layout directory is added to ``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - only taken on non-installed checkouts
+    sys.path.insert(0, str(Path(__file__).parent / "src"))

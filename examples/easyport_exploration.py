@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Easyport case study: reproduce the paper's first experiment.
+
+Explores a few hundred configurations of the compact parameter space for an
+Easyport-style wireless/DSL port-aggregation workload, then prints the
+figures the paper reports in Section 3: metric ranges across all
+configurations, the number of Pareto-optimal configurations, and the
+improvement factors within the Pareto set.  Artefacts (CSV sheets, gnuplot
+data/script) are exported next to the script.
+
+Run with ``python examples/easyport_exploration.py [--full]``.
+``--full`` samples the complete 12 960-point space instead of the compact one
+(several minutes).
+"""
+
+import argparse
+from pathlib import Path
+
+from repro import ExplorationEngine, ExplorationSettings, TradeoffAnalysis
+from repro.core.reporting import describe_record
+from repro.core.space import compact_parameter_space, default_parameter_space
+from repro.gui.report import dashboard, export_artifacts
+from repro.memhier.hierarchy import embedded_two_level
+from repro.workloads.easyport import EasyportWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="sample the full parameter space")
+    parser.add_argument("--packets", type=int, default=1500)
+    parser.add_argument("--sample", type=int, default=400)
+    parser.add_argument("--out", type=Path, default=Path("easyport_results"))
+    args = parser.parse_args()
+
+    trace = EasyportWorkload(packets=args.packets).generate(seed=2006)
+    hierarchy = embedded_two_level()
+    if args.full:
+        space = default_parameter_space()
+        settings = ExplorationSettings(sample=args.sample, progress_every=50)
+    else:
+        space = compact_parameter_space()
+        settings = ExplorationSettings(progress_every=32)
+    print(f"exploring {settings.sample or space.size()} of {space.size()} configurations")
+
+    engine = ExplorationEngine(space, trace, hierarchy=hierarchy, settings=settings)
+    database = engine.explore()
+
+    analysis = TradeoffAnalysis(database)
+    print()
+    print(analysis.paper_style_report())
+    print()
+    print("Pareto-optimal configurations, cheapest accesses first:")
+    for record in sorted(analysis.pareto_records, key=lambda r: r.metrics.accesses):
+        print("  " + describe_record(record))
+
+    print()
+    print(dashboard(database, title="Easyport exploration"))
+
+    paths = export_artifacts(database, args.out, basename="easyport")
+    print("\nexported:")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind}: {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Pool-to-memory mapping study on a three-level hierarchy.
+
+Takes one fixed set of allocator policies and sweeps only *where* the
+dedicated pools live (scratchpad, on-chip SRAM or off-chip DRAM), showing how
+the mapping parameter alone moves energy and execution time — the part of
+the paper's parameter space that a pure-software allocator tuner cannot see.
+
+Run with ``python examples/memory_hierarchy_mapping.py``.
+"""
+
+from repro.core.configuration import configuration_from_point
+from repro.core.factory import AllocatorFactory
+from repro.memhier.hierarchy import embedded_three_level
+from repro.profiling.profiler import Profiler
+from repro.workloads.easyport import EasyportWorkload
+
+
+def main() -> None:
+    trace = EasyportWorkload(packets=1000).generate(seed=2006)
+    hierarchy = embedded_three_level()
+    factory = AllocatorFactory(hierarchy)
+    hot_sizes = trace.hot_sizes(5)
+    print(hierarchy.describe())
+    print(f"hot block sizes: {hot_sizes}\n")
+
+    base_point = {
+        "num_dedicated_pools": 5,
+        "dedicated_pool_kind": "fixed",
+        "general_free_list": "address_ordered",
+        "general_fit": "best_fit",
+        "general_coalescing": "immediate",
+        "general_splitting": "always",
+        "chunk_size": 4096,
+    }
+
+    header = f"{'dedicated pools on':<20} {'accesses':>10} {'footprint':>10} {'energy (uJ)':>12} {'cycles':>12}"
+    print(header)
+    print("-" * len(header))
+    for placement in hierarchy.module_names():
+        point = dict(base_point, dedicated_pool_placement=placement)
+        configuration = configuration_from_point(
+            point,
+            hot_sizes,
+            scratchpad_module=placement,
+            main_module=hierarchy.background_module.name,
+            label=f"map_{placement}",
+        )
+        built = factory.build(configuration)
+        result = Profiler(built.mapping).run(built.allocator, trace, configuration.label)
+        totals = result.totals
+        print(
+            f"{placement:<20} {totals.accesses:>10} {totals.footprint:>10} "
+            f"{totals.energy_nj / 1e3:>12.1f} {totals.cycles:>12}"
+        )
+
+    print(
+        "\nThe same allocator algorithms cost very different energy/time "
+        "depending on the memory level their pools are mapped to."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""MPEG-4 VTC case study: reproduce the paper's second experiment.
+
+Explores allocator configurations for a still-texture-decoding workload and
+reports the energy / execution-time reductions available within the
+Pareto-optimal set (the paper quotes up to 82.4 % energy and 5.4 % execution
+time).
+
+Run with ``python examples/vtc_exploration.py``.
+"""
+
+import argparse
+from pathlib import Path
+
+from repro import ExplorationEngine, ExplorationSettings, TradeoffAnalysis
+from repro.core.space import compact_parameter_space
+from repro.gui.report import dashboard, export_artifacts
+from repro.memhier.energy import EnergyModel
+from repro.memhier.hierarchy import embedded_two_level
+from repro.workloads.vtc import VTCWorkload
+
+#: Cycles of wavelet arithmetic per DM operation: the VTC decoder does far
+#: more computation per allocated object than a packet forwarder, which is
+#: why its execution-time savings are small even when its memory-energy
+#: savings are large (see EXPERIMENTS.md, experiment VTC-GAINS).
+VTC_CPU_CYCLES_PER_OPERATION = 20_000
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--image-size", type=int, default=176)
+    parser.add_argument("--out", type=Path, default=Path("vtc_results"))
+    args = parser.parse_args()
+
+    workload = VTCWorkload(image_width=args.image_size, image_height=args.image_size)
+    trace = workload.generate(seed=2006)
+    print(f"workload: {workload.describe()}")
+    print(f"trace: {len(trace)} events, hot sizes {trace.hot_sizes()}")
+
+    hierarchy = embedded_two_level()
+    energy_model = EnergyModel(hierarchy, cpu_overhead_cycles=VTC_CPU_CYCLES_PER_OPERATION)
+    space = compact_parameter_space(max_dedicated_pools=3)
+    engine = ExplorationEngine(
+        space,
+        trace,
+        hierarchy=hierarchy,
+        energy_model=energy_model,
+        settings=ExplorationSettings(progress_every=32),
+    )
+    database = engine.explore()
+
+    analysis = TradeoffAnalysis(database)
+    print()
+    print(analysis.paper_style_report())
+
+    energy = analysis.metric_tradeoff("energy_nj")
+    cycles = analysis.metric_tradeoff("cycles")
+    print()
+    print(
+        f"within the Pareto-optimal set: memory energy decreases by up to "
+        f"{energy.pareto_gain_percent:.1f}% and execution time by up to "
+        f"{cycles.pareto_gain_percent:.1f}% (paper: 82.4% and 5.4%)"
+    )
+
+    print()
+    print(dashboard(database, x_metric="energy_nj", y_metric="cycles", title="VTC exploration"))
+    paths = export_artifacts(database, args.out, basename="vtc")
+    print("\nexported:")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind}: {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+minimal/offline environments where the ``wheel`` package (needed by the
+PEP 660 editable-wheel path) is not available.
+"""
+
+from setuptools import setup
+
+setup()

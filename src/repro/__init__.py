@@ -1,0 +1,112 @@
+"""repro — Automated exploration of Pareto-optimal DM allocator configurations.
+
+Reproduction of Mamagkakis et al., "Automated Exploration of Pareto-optimal
+Configurations in Parameterized Dynamic Memory Allocation for Embedded
+Systems", DATE 2006.
+
+The package is organised in five layers:
+
+* :mod:`repro.allocator` — composable, simulated DM allocator library
+  (pools, fit / free-list / coalescing / splitting policies, baselines).
+* :mod:`repro.memhier`   — memory-hierarchy model (modules, pool mapping,
+  energy and timing).
+* :mod:`repro.profiling` — allocation traces, trace-driven profiler,
+  metrics, profiling-log writer and fast parser.
+* :mod:`repro.workloads` — application models (Easyport-style packet
+  processing, MPEG-4 VTC decoding, synthetic generators).
+* :mod:`repro.core`      — the paper's contribution: parameter spaces,
+  automatic allocator construction, exhaustive/heuristic exploration,
+  Pareto extraction and trade-off analysis.
+
+Quick start::
+
+    from repro import (
+        EasyportWorkload, ExplorationEngine, compact_parameter_space,
+        exploration_report,
+    )
+
+    trace = EasyportWorkload(packets=2000).generate(seed=1)
+    engine = ExplorationEngine(compact_parameter_space(), trace)
+    database = engine.explore()
+    print(exploration_report(database))
+"""
+
+from .core import (
+    AllocatorConfiguration,
+    AllocatorFactory,
+    ExplorationEngine,
+    ExplorationRecord,
+    ExplorationSettings,
+    Parameter,
+    ParameterSpace,
+    PoolSpec,
+    ResultDatabase,
+    TradeoffAnalysis,
+    build_allocator,
+    compact_parameter_space,
+    configuration_from_point,
+    default_parameter_space,
+    exploration_report,
+    explore,
+    pareto_front,
+    smoke_parameter_space,
+)
+from .memhier import (
+    EnergyModel,
+    MemoryHierarchy,
+    MemoryModule,
+    PoolMapping,
+    embedded_three_level,
+    embedded_two_level,
+)
+from .profiling import (
+    AllocationTrace,
+    MetricSet,
+    ProfileResult,
+    Profiler,
+    profile_trace,
+)
+from .version import __version__
+from .workloads import (
+    EasyportWorkload,
+    VTCWorkload,
+    easyport_reference_trace,
+    vtc_reference_trace,
+)
+
+__all__ = [
+    "AllocationTrace",
+    "AllocatorConfiguration",
+    "AllocatorFactory",
+    "EasyportWorkload",
+    "EnergyModel",
+    "ExplorationEngine",
+    "ExplorationRecord",
+    "ExplorationSettings",
+    "MemoryHierarchy",
+    "MemoryModule",
+    "MetricSet",
+    "Parameter",
+    "ParameterSpace",
+    "PoolMapping",
+    "PoolSpec",
+    "ProfileResult",
+    "Profiler",
+    "ResultDatabase",
+    "TradeoffAnalysis",
+    "VTCWorkload",
+    "__version__",
+    "build_allocator",
+    "compact_parameter_space",
+    "configuration_from_point",
+    "default_parameter_space",
+    "easyport_reference_trace",
+    "embedded_three_level",
+    "embedded_two_level",
+    "exploration_report",
+    "explore",
+    "pareto_front",
+    "profile_trace",
+    "smoke_parameter_space",
+    "vtc_reference_trace",
+]

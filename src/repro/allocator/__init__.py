@@ -1,0 +1,158 @@
+"""Composable dynamic-memory allocator library (simulated).
+
+Python counterpart of the paper's C++ template/mixin library: pools, fit
+policies, free-list organisations, coalescing and splitting policies that
+the exploration tool composes into thousands of candidate allocators.
+"""
+
+from .baselines import (
+    BASELINE_BUILDERS,
+    baseline_names,
+    dlmalloc_allocator,
+    kingsley_allocator,
+    make_baseline,
+    simple_freelist_allocator,
+)
+from .blocks import (
+    BOUNDARY_TAG_BYTES,
+    DEFAULT_ALIGNMENT,
+    HEADER_BYTES,
+    Block,
+    BlockRange,
+    BlockStatus,
+    SizeClass,
+    align_up,
+    block_overhead,
+    gross_block_size,
+    power_of_two_size_classes,
+)
+from .buddy import BuddyPool
+from .coalescing import (
+    COALESCING_POLICIES,
+    CoalescingPolicy,
+    DeferredCoalesce,
+    ImmediateCoalesce,
+    NeverCoalesce,
+    coalescing_policy_names,
+    make_coalescing_policy,
+)
+from .composed import ComposedAllocator
+from .errors import (
+    AllocatorError,
+    ConfigurationError,
+    DoubleFreeError,
+    InvalidFreeError,
+    InvalidRequestError,
+    OutOfMemoryError,
+    PoolCapacityError,
+)
+from .fit import (
+    FIT_POLICIES,
+    BestFit,
+    ExactFit,
+    FirstFit,
+    FitPolicy,
+    FitResult,
+    NextFit,
+    WorstFit,
+    fit_policy_names,
+    make_fit_policy,
+)
+from .freelist import (
+    FREE_LIST_POLICIES,
+    AddressOrderedFreeList,
+    FIFOFreeList,
+    FreeList,
+    LIFOFreeList,
+    SizeOrderedFreeList,
+    free_list_policy_names,
+    make_free_list,
+)
+from .heap import DEFAULT_CHUNK_SIZE, AddressSpaceAllocator, PoolAddressSpace
+from .pool import FixedSizePool, GeneralPool, Pool, RegionPool
+from .segregated import SegregatedFitPool, exact_size_classes
+from .slab import SlabPool
+from .splitting import (
+    SPLITTING_POLICIES,
+    AlwaysSplit,
+    NeverSplit,
+    SplittingPolicy,
+    ThresholdSplit,
+    make_splitting_policy,
+    splitting_policy_names,
+)
+from .stats import AccessCounter, AllocatorStats, PoolStats
+
+__all__ = [
+    "AccessCounter",
+    "AddressOrderedFreeList",
+    "AddressSpaceAllocator",
+    "AllocatorError",
+    "AllocatorStats",
+    "AlwaysSplit",
+    "BASELINE_BUILDERS",
+    "BestFit",
+    "Block",
+    "BlockRange",
+    "BlockStatus",
+    "BOUNDARY_TAG_BYTES",
+    "BuddyPool",
+    "COALESCING_POLICIES",
+    "CoalescingPolicy",
+    "ComposedAllocator",
+    "ConfigurationError",
+    "DEFAULT_ALIGNMENT",
+    "DEFAULT_CHUNK_SIZE",
+    "DeferredCoalesce",
+    "DoubleFreeError",
+    "ExactFit",
+    "FIFOFreeList",
+    "FIT_POLICIES",
+    "FREE_LIST_POLICIES",
+    "FirstFit",
+    "FitPolicy",
+    "FitResult",
+    "FixedSizePool",
+    "FreeList",
+    "GeneralPool",
+    "HEADER_BYTES",
+    "ImmediateCoalesce",
+    "InvalidFreeError",
+    "InvalidRequestError",
+    "LIFOFreeList",
+    "NeverCoalesce",
+    "NeverSplit",
+    "NextFit",
+    "OutOfMemoryError",
+    "Pool",
+    "PoolAddressSpace",
+    "PoolCapacityError",
+    "PoolStats",
+    "RegionPool",
+    "SPLITTING_POLICIES",
+    "SegregatedFitPool",
+    "SizeClass",
+    "SizeOrderedFreeList",
+    "SlabPool",
+    "SplittingPolicy",
+    "ThresholdSplit",
+    "WorstFit",
+    "align_up",
+    "baseline_names",
+    "block_overhead",
+    "coalescing_policy_names",
+    "dlmalloc_allocator",
+    "exact_size_classes",
+    "fit_policy_names",
+    "free_list_policy_names",
+    "gross_block_size",
+    "kingsley_allocator",
+    "make_baseline",
+    "make_coalescing_policy",
+    "make_fit_policy",
+    "make_free_list",
+    "make_splitting_policy",
+    "power_of_two_size_classes",
+    "simple_freelist_allocator",
+    "splitting_policy_names",
+]

@@ -1,0 +1,114 @@
+"""General-purpose baseline allocators.
+
+The paper motivates the exploration by contrasting custom allocators against
+the "very restricted group of a few OS-based DM allocators".  This module
+provides those comparison points as ready-made composed allocators:
+
+* :func:`kingsley_allocator`  — segregated power-of-two free lists (the BSD
+  / early-embedded-RTOS style allocator: very fast, fragmenting).
+* :func:`dlmalloc_allocator`  — best-fit with address-ordered free list,
+  boundary-tag immediate coalescing and splitting (Doug Lea's allocator
+  family, the default behind most libc mallocs).
+* :func:`simple_freelist_allocator` — single first-fit LIFO free list with
+  no coalescing/splitting, the smallest allocator found in lightweight
+  embedded kernels.
+
+All baselines place their single pool in main memory, as an embedded OS
+would, so that exploration results can quote "vs. the OS allocator" factors.
+"""
+
+from __future__ import annotations
+
+from .composed import ComposedAllocator
+from .heap import PoolAddressSpace
+from .pool import GeneralPool
+from .segregated import SegregatedFitPool
+
+
+def kingsley_allocator(
+    name: str = "kingsley",
+    min_class_exp: int = 4,
+    max_class_exp: int = 20,
+    chunk_size: int = 4096,
+) -> ComposedAllocator:
+    """Kingsley-style power-of-two segregated-fit allocator.
+
+    Every request is rounded up to the next power of two and served from
+    that class's LIFO free list.  Allocation and free are O(1), but requests
+    just above a power of two waste almost half the block.
+    """
+    from .blocks import power_of_two_size_classes
+
+    pool = SegregatedFitPool(
+        name=f"{name}-pool",
+        size_classes=power_of_two_size_classes(min_class_exp, max_class_exp),
+        address_space=PoolAddressSpace(name=f"{name}-pool"),
+        chunk_size=chunk_size,
+    )
+    return ComposedAllocator([pool], name=name)
+
+
+def dlmalloc_allocator(
+    name: str = "dlmalloc",
+    chunk_size: int = 65536,
+) -> ComposedAllocator:
+    """Doug-Lea-style allocator: best fit, address order, immediate coalescing.
+
+    The most footprint-frugal of the baselines and the most expensive in
+    metadata accesses, as every allocation scans the free list and every
+    free probes its neighbours.
+    """
+    pool = GeneralPool(
+        name=f"{name}-pool",
+        address_space=PoolAddressSpace(name=f"{name}-pool"),
+        free_list="address_ordered",
+        fit="best_fit",
+        coalescing="immediate",
+        splitting="always",
+        chunk_size=chunk_size,
+    )
+    return ComposedAllocator([pool], name=name)
+
+
+def simple_freelist_allocator(
+    name: str = "simple-freelist",
+    chunk_size: int = 4096,
+) -> ComposedAllocator:
+    """Minimal embedded allocator: one LIFO list, first fit, no maintenance.
+
+    This is the "what you get when you roll your own in an afternoon"
+    allocator; it anchors the expensive end of the footprint axis.
+    """
+    pool = GeneralPool(
+        name=f"{name}-pool",
+        address_space=PoolAddressSpace(name=f"{name}-pool"),
+        free_list="lifo",
+        fit="first_fit",
+        coalescing="never",
+        splitting="never",
+        chunk_size=chunk_size,
+    )
+    return ComposedAllocator([pool], name=name)
+
+
+#: Registry of baseline builders keyed by the name used in benchmark tables.
+BASELINE_BUILDERS = {
+    "kingsley": kingsley_allocator,
+    "dlmalloc": dlmalloc_allocator,
+    "simple_freelist": simple_freelist_allocator,
+}
+
+
+def make_baseline(name: str) -> ComposedAllocator:
+    """Build a baseline allocator by registry name."""
+    try:
+        builder = BASELINE_BUILDERS[name]
+    except KeyError:
+        valid = ", ".join(sorted(BASELINE_BUILDERS))
+        raise ValueError(f"unknown baseline '{name}' (valid: {valid})") from None
+    return builder()
+
+
+def baseline_names() -> list[str]:
+    """All registered baseline names, sorted for stable enumeration."""
+    return sorted(BASELINE_BUILDERS)

@@ -1,0 +1,70 @@
+"""Exception types raised by the simulated dynamic-memory allocator library.
+
+The real system (a C++ template library) reports misuse through assertions
+and crashes; the simulation turns every misuse into a distinct, documented
+exception so tests and the exploration engine can reason about them.
+"""
+
+from __future__ import annotations
+
+
+class AllocatorError(Exception):
+    """Base class for every allocator-related error."""
+
+
+class OutOfMemoryError(AllocatorError):
+    """Raised when a pool (or the memory module backing it) cannot satisfy a
+    request and no fallback pool is available."""
+
+    def __init__(self, requested: int, pool: str = "", capacity: int | None = None):
+        self.requested = requested
+        self.pool = pool
+        self.capacity = capacity
+        detail = f"cannot allocate {requested} bytes"
+        if pool:
+            detail += f" from pool '{pool}'"
+        if capacity is not None:
+            detail += f" (capacity {capacity} bytes)"
+        super().__init__(detail)
+
+
+class InvalidFreeError(AllocatorError):
+    """Raised when ``free`` is called with an address that was never returned
+    by ``malloc`` (or belongs to a different pool)."""
+
+    def __init__(self, address: int, reason: str = "address was never allocated"):
+        self.address = address
+        super().__init__(f"invalid free of address {address:#x}: {reason}")
+
+
+class DoubleFreeError(InvalidFreeError):
+    """Raised when an already-freed block is freed again."""
+
+    def __init__(self, address: int):
+        super().__init__(address, reason="block already freed")
+
+
+class InvalidRequestError(AllocatorError):
+    """Raised for malformed allocation requests (zero/negative sizes, sizes
+    exceeding the addressable range, misaligned explicit placements...)."""
+
+
+class ConfigurationError(AllocatorError):
+    """Raised when an allocator is composed from an inconsistent
+    configuration (overlapping size ranges, pools mapped to missing memory
+    modules, unknown policy names...)."""
+
+
+class PoolCapacityError(ConfigurationError):
+    """Raised when a pool's declared capacity does not fit in the memory
+    module it is mapped to."""
+
+    def __init__(self, pool: str, required: int, module: str, available: int):
+        self.pool = pool
+        self.required = required
+        self.module = module
+        self.available = available
+        super().__init__(
+            f"pool '{pool}' requires {required} bytes but memory module "
+            f"'{module}' only has {available} bytes available"
+        )

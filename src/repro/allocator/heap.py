@@ -1,0 +1,221 @@
+"""Simulated backing store (address space) for allocator pools.
+
+Each pool owns a :class:`PoolAddressSpace`: a contiguous region of the memory
+module the pool is mapped to.  The region starts empty and grows in
+``chunk_size`` increments when the pool needs more raw memory — exactly like
+``sbrk``/``mmap`` growth of a real heap, and like the "pool" abstraction of
+the paper's C++ library.  The high-water mark of the region is the pool's
+contribution to the *memory footprint* metric.
+
+The address space is purely a bookkeeping object: no bytes are stored, only
+interval arithmetic, because the simulation never needs the payload contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .blocks import BlockRange
+from .errors import OutOfMemoryError
+
+#: Default growth increment for pools that do not specify one (4 KB page).
+DEFAULT_CHUNK_SIZE = 4096
+
+#: Address stride separating pools that share an *unbounded* memory module,
+#: so their simulated address ranges can never overlap (1 TiB apart).
+UNBOUNDED_POOL_STRIDE = 1 << 40
+
+#: Start of the address region used for auto-assigned pool bases (pools
+#: created without an explicit base or mapping).  Far above anything a
+#: memory-hierarchy mapping hands out, so the two can never collide.
+AUTO_BASE_START = 1 << 55
+
+#: Module-level counter for auto-assigned bases (see PoolAddressSpace).
+_auto_base_counter = 0
+
+
+def _next_auto_base() -> int:
+    """Return the next auto-assigned base address for a standalone pool."""
+    global _auto_base_counter
+    base = AUTO_BASE_START + _auto_base_counter * UNBOUNDED_POOL_STRIDE
+    _auto_base_counter += 1
+    return base
+
+
+@dataclass
+class PoolAddressSpace:
+    """A growable, bounded region of simulated memory owned by one pool.
+
+    Parameters
+    ----------
+    base:
+        Start address of the region inside the owning memory module.
+        ``None`` (the default) auto-assigns a base in a reserved high
+        address region so that standalone pools created without a
+        memory-hierarchy mapping never produce colliding block addresses.
+    capacity:
+        Maximum bytes the region may grow to.  ``None`` means unbounded
+        (useful for main-memory pools whose practical bound is huge).
+    chunk_size:
+        Granularity of growth requests.  Real pools grab whole pages or
+        larger chunks from the OS; growing byte-by-byte would be unrealistic
+        and would hide external fragmentation.
+    name:
+        Owning pool's name, used in error messages.
+    """
+
+    base: int | None = None
+    capacity: int | None = None
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    name: str = ""
+    _brk: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.base is None:
+            self.base = _next_auto_base()
+        if self.base < 0:
+            raise ValueError(f"base address must be non-negative, got {self.base}")
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {self.capacity}")
+        if self.chunk_size <= 0:
+            raise ValueError(f"chunk size must be positive, got {self.chunk_size}")
+
+    @property
+    def used(self) -> int:
+        """Bytes currently reserved (the region's high-water mark)."""
+        return self._brk
+
+    @property
+    def limit(self) -> int | None:
+        """Absolute end address the region may grow to (``None`` = unbounded)."""
+        if self.capacity is None:
+            return None
+        return self.base + self.capacity
+
+    @property
+    def brk_address(self) -> int:
+        """Current break (first address past the reserved region)."""
+        return self.base + self._brk
+
+    def remaining(self) -> int | None:
+        """Bytes still available before hitting capacity (``None`` = unbounded)."""
+        if self.capacity is None:
+            return None
+        return self.capacity - self._brk
+
+    def can_grow(self, nbytes: int) -> bool:
+        """True when the region can be extended by at least ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("growth must be non-negative")
+        if self.capacity is None:
+            return True
+        return self._brk + nbytes <= self.capacity
+
+    def grow(self, nbytes: int) -> BlockRange:
+        """Extend the region by at least ``nbytes`` (rounded up to chunks).
+
+        Returns the newly reserved address range.  Raises
+        :class:`OutOfMemoryError` when the capacity would be exceeded — the
+        caller (pool) may then fall back to a smaller, exact growth or fail
+        the allocation.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"growth must be positive, got {nbytes}")
+        chunks = -(-nbytes // self.chunk_size)  # ceiling division
+        granted = chunks * self.chunk_size
+        if not self.can_grow(granted):
+            # Retry with the exact request before giving up: a pool close to
+            # its capacity can still hand out its remaining bytes.
+            if self.can_grow(nbytes):
+                granted = nbytes
+            else:
+                raise OutOfMemoryError(nbytes, pool=self.name, capacity=self.capacity)
+        start = self.brk_address
+        self._brk += granted
+        return BlockRange(start, start + granted)
+
+    def grow_exact(self, nbytes: int) -> BlockRange:
+        """Extend the region by exactly ``nbytes`` (no chunk rounding)."""
+        if nbytes <= 0:
+            raise ValueError(f"growth must be positive, got {nbytes}")
+        if not self.can_grow(nbytes):
+            raise OutOfMemoryError(nbytes, pool=self.name, capacity=self.capacity)
+        start = self.brk_address
+        self._brk += nbytes
+        return BlockRange(start, start + nbytes)
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` lies inside the currently reserved region."""
+        return self.base <= address < self.brk_address
+
+    def reset(self) -> None:
+        """Release the whole region (used by region/arena pools on reset)."""
+        self._brk = 0
+
+
+class AddressSpaceAllocator:
+    """Assigns non-overlapping base addresses to pools within a memory module.
+
+    Memory modules hand out address ranges to every pool mapped onto them.
+    This tiny allocator performs that carving: each pool receives a base
+    address past the previous pool's maximum extent so that simulated block
+    addresses are globally unique within a module.
+    """
+
+    def __init__(self, module_size: int | None = None, base_offset: int = 0) -> None:
+        if module_size is not None and module_size <= 0:
+            raise ValueError(f"module size must be positive, got {module_size}")
+        if base_offset < 0:
+            raise ValueError(f"base offset must be non-negative, got {base_offset}")
+        self._module_size = module_size
+        self._base_offset = base_offset
+        self._next_base = base_offset
+        self._assignments: dict[str, BlockRange] = {}
+
+    @property
+    def assignments(self) -> dict[str, BlockRange]:
+        """Mapping from pool name to its assigned address range."""
+        return dict(self._assignments)
+
+    def reserve(self, pool_name: str, nbytes: int | None) -> tuple[int, int | None]:
+        """Reserve a region for ``pool_name``.
+
+        ``nbytes`` of ``None`` means "the rest of the module" (or unbounded
+        when the module itself is unbounded).  Returns ``(base, capacity)``.
+        """
+        if pool_name in self._assignments:
+            raise ValueError(f"pool '{pool_name}' already has an address range")
+        base = self._next_base
+        limit = (
+            None
+            if self._module_size is None
+            else self._base_offset + self._module_size
+        )
+        if nbytes is None:
+            if limit is None:
+                # Unbounded module: give every pool its own huge stride so
+                # their (practically unbounded) regions can never overlap.
+                self._next_base = base + UNBOUNDED_POOL_STRIDE
+                self._assignments[pool_name] = BlockRange(
+                    base, base + UNBOUNDED_POOL_STRIDE
+                )
+                return base, None
+            capacity = limit - base
+            if capacity < 0:
+                capacity = 0
+            self._next_base = limit
+            self._assignments[pool_name] = BlockRange(base, base + capacity)
+            return base, capacity
+        if nbytes < 0:
+            raise ValueError("reservation size must be non-negative")
+        if limit is not None and base + nbytes > limit:
+            raise OutOfMemoryError(nbytes, pool=pool_name, capacity=self._module_size)
+        self._next_base = base + nbytes
+        self._assignments[pool_name] = BlockRange(base, base + nbytes)
+        return base, nbytes
+
+    def remaining(self) -> int | None:
+        """Bytes not yet reserved by any pool (``None`` for unbounded modules)."""
+        if self._module_size is None:
+            return None
+        return max(0, self._base_offset + self._module_size - self._next_base)

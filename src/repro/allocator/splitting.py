@@ -1,0 +1,148 @@
+"""Splitting policies: whether an over-sized free block is split on allocation.
+
+Splitting returns the unused tail of a chosen block to the free list, which
+lowers internal fragmentation (footprint) at the cost of one extra header
+write and one free-list insertion per split — and of creating small
+remainder fragments that may never be reusable.  The exploration sweeps:
+
+* ``never``     — the whole block is handed out (fast, wasteful).
+* ``always``    — any remainder at least as large as ``min_remainder`` is
+                  split off (dlmalloc style).
+* ``threshold`` — split only when the remainder exceeds a configurable
+                  fraction of the request, avoiding useless slivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .blocks import Block, BlockStatus
+from .errors import ConfigurationError
+
+#: Smallest remainder worth turning into a standalone free block: a header
+#: plus one alignment unit of payload.
+MIN_REMAINDER_BYTES = 16
+
+
+@dataclass
+class SplitResult:
+    """Outcome of a split decision.
+
+    ``allocated`` is the block to hand to the application; ``remainder`` is
+    the new free block created by the split (``None`` when no split
+    happened); ``writes`` counts the header/link writes the split cost.
+    """
+
+    allocated: Block
+    remainder: Block | None = None
+    writes: int = 0
+
+    @property
+    def did_split(self) -> bool:
+        return self.remainder is not None
+
+
+class SplittingPolicy:
+    """Base class for splitting policies."""
+
+    policy_name = "abstract"
+
+    def split(self, block: Block, gross_size: int) -> SplitResult:
+        """Decide whether to split ``block`` for a request of ``gross_size``.
+
+        ``gross_size`` already includes header/alignment overhead, so the
+        decision reduces to interval arithmetic on the block size.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _do_split(block: Block, gross_size: int) -> SplitResult:
+        """Carve ``gross_size`` bytes off the front of ``block``."""
+        remainder_size = block.size - gross_size
+        if remainder_size <= 0:
+            raise ValueError("cannot split: block not larger than request")
+        remainder = Block(
+            address=block.address + gross_size,
+            size=remainder_size,
+            status=BlockStatus.FREE,
+            pool_name=block.pool_name,
+        )
+        block.size = gross_size
+        # Two header writes: shrink the allocated block's header, write the
+        # remainder's fresh header.
+        return SplitResult(allocated=block, remainder=remainder, writes=2)
+
+
+class NeverSplit(SplittingPolicy):
+    """Hand out the chosen block whole, however large it is."""
+
+    policy_name = "never"
+
+    def split(self, block: Block, gross_size: int) -> SplitResult:
+        return SplitResult(allocated=block)
+
+
+class AlwaysSplit(SplittingPolicy):
+    """Split whenever the remainder is big enough to be a standalone block."""
+
+    policy_name = "always"
+
+    def __init__(self, min_remainder: int = MIN_REMAINDER_BYTES) -> None:
+        if min_remainder <= 0:
+            raise ValueError(f"min_remainder must be positive, got {min_remainder}")
+        self.min_remainder = min_remainder
+
+    def split(self, block: Block, gross_size: int) -> SplitResult:
+        if block.size - gross_size >= self.min_remainder:
+            return self._do_split(block, gross_size)
+        return SplitResult(allocated=block)
+
+
+class ThresholdSplit(SplittingPolicy):
+    """Split only when the remainder exceeds ``ratio`` × the request size.
+
+    With ``ratio = 0.5`` a 100-byte request taken from a 140-byte block is
+    *not* split (the 40-byte sliver would likely be wasted anyway), while a
+    100-byte request from a 300-byte block is.
+    """
+
+    policy_name = "threshold"
+
+    def __init__(self, ratio: float = 0.5, min_remainder: int = MIN_REMAINDER_BYTES) -> None:
+        if ratio <= 0:
+            raise ValueError(f"split ratio must be positive, got {ratio}")
+        if min_remainder <= 0:
+            raise ValueError(f"min_remainder must be positive, got {min_remainder}")
+        self.ratio = ratio
+        self.min_remainder = min_remainder
+
+    def split(self, block: Block, gross_size: int) -> SplitResult:
+        remainder = block.size - gross_size
+        if remainder >= self.min_remainder and remainder >= self.ratio * gross_size:
+            return self._do_split(block, gross_size)
+        return SplitResult(allocated=block)
+
+
+#: Registry used by the allocator factory: policy name -> class.
+SPLITTING_POLICIES: dict[str, type[SplittingPolicy]] = {
+    NeverSplit.policy_name: NeverSplit,
+    AlwaysSplit.policy_name: AlwaysSplit,
+    ThresholdSplit.policy_name: ThresholdSplit,
+}
+
+
+def make_splitting_policy(policy: str, **kwargs) -> SplittingPolicy:
+    """Instantiate a splitting policy by name (raises ConfigurationError if unknown)."""
+    try:
+        cls = SPLITTING_POLICIES[policy]
+    except KeyError:
+        valid = ", ".join(sorted(SPLITTING_POLICIES))
+        raise ConfigurationError(
+            f"unknown splitting policy '{policy}' (valid: {valid})"
+        ) from None
+    return cls(**kwargs)
+
+
+def splitting_policy_names() -> list[str]:
+    """All registered splitting-policy names, sorted for stable enumeration."""
+    return sorted(SPLITTING_POLICIES)

@@ -1,0 +1,203 @@
+"""Counters collected by the simulated allocator.
+
+Every pool owns a :class:`PoolStats` instance.  Pools charge *memory
+accesses* (reads and writes of allocator metadata: headers, free-list links,
+boundary tags) and track *footprint* (bytes of backing store the pool has
+reserved from its memory module).  The profiler later combines these raw
+counters with the memory-hierarchy model to derive energy and execution
+time, which is exactly the flow of the DATE'06 tool (profiling step feeding
+the Pareto analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AccessCounter:
+    """Counts metadata reads and writes performed by an allocator component."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, count: int = 1) -> None:
+        """Charge ``count`` metadata reads."""
+        if count < 0:
+            raise ValueError("access count must be non-negative")
+        self.reads += count
+
+    def write(self, count: int = 1) -> None:
+        """Charge ``count`` metadata writes."""
+        if count < 0:
+            raise ValueError("access count must be non-negative")
+        self.writes += count
+
+    @property
+    def total(self) -> int:
+        """Total accesses (reads + writes)."""
+        return self.reads + self.writes
+
+    def merge(self, other: "AccessCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.reads += other.reads
+        self.writes += other.writes
+
+    def copy(self) -> "AccessCounter":
+        return AccessCounter(reads=self.reads, writes=self.writes)
+
+
+@dataclass
+class PoolStats:
+    """Aggregate statistics for a single pool.
+
+    Attributes
+    ----------
+    accesses:
+        Metadata reads/writes performed while servicing requests.
+    footprint:
+        Bytes of backing store currently reserved from the memory module
+        (the pool's address-space high-water mark is ``peak_footprint``).
+    live_payload:
+        Sum of payload bytes currently allocated to the application.
+    live_gross:
+        Sum of gross block sizes currently allocated (payload + padding +
+        headers), used for internal-fragmentation reporting.
+    """
+
+    accesses: AccessCounter = field(default_factory=AccessCounter)
+    footprint: int = 0
+    peak_footprint: int = 0
+    live_payload: int = 0
+    peak_live_payload: int = 0
+    live_gross: int = 0
+    live_blocks: int = 0
+    alloc_ops: int = 0
+    free_ops: int = 0
+    failed_allocs: int = 0
+    free_list_visits: int = 0
+    splits: int = 0
+    coalesces: int = 0
+
+    def grow_footprint(self, delta: int) -> None:
+        """Record ``delta`` additional bytes reserved from the memory module."""
+        if delta < 0:
+            raise ValueError("footprint growth must be non-negative")
+        self.footprint += delta
+        self.peak_footprint = max(self.peak_footprint, self.footprint)
+
+    def shrink_footprint(self, delta: int) -> None:
+        """Record ``delta`` bytes released back to the memory module."""
+        if delta < 0:
+            raise ValueError("footprint shrink must be non-negative")
+        if delta > self.footprint:
+            raise ValueError("cannot shrink footprint below zero")
+        self.footprint -= delta
+
+    def note_alloc(self, requested: int, gross: int) -> None:
+        """Record a successful allocation of ``requested`` payload bytes."""
+        self.alloc_ops += 1
+        self.live_blocks += 1
+        self.live_payload += requested
+        self.live_gross += gross
+        self.peak_live_payload = max(self.peak_live_payload, self.live_payload)
+
+    def note_free(self, requested: int, gross: int) -> None:
+        """Record a free of a block previously counted by :meth:`note_alloc`."""
+        self.free_ops += 1
+        self.live_blocks -= 1
+        self.live_payload -= requested
+        self.live_gross -= gross
+        if self.live_blocks < 0 or self.live_payload < 0 or self.live_gross < 0:
+            raise ValueError("free accounting underflow: more frees than allocs")
+
+    @property
+    def internal_fragmentation(self) -> int:
+        """Bytes lost to padding/headers inside currently-live blocks."""
+        return max(0, self.live_gross - self.live_payload)
+
+    @property
+    def external_fragmentation(self) -> int:
+        """Bytes reserved from the memory module but not in any live block."""
+        return max(0, self.footprint - self.live_gross)
+
+    def snapshot(self) -> dict:
+        """Return a plain-dict snapshot (used by the profiling log writer)."""
+        return {
+            "reads": self.accesses.reads,
+            "writes": self.accesses.writes,
+            "accesses": self.accesses.total,
+            "footprint": self.footprint,
+            "peak_footprint": self.peak_footprint,
+            "live_payload": self.live_payload,
+            "peak_live_payload": self.peak_live_payload,
+            "live_blocks": self.live_blocks,
+            "alloc_ops": self.alloc_ops,
+            "free_ops": self.free_ops,
+            "failed_allocs": self.failed_allocs,
+            "free_list_visits": self.free_list_visits,
+            "splits": self.splits,
+            "coalesces": self.coalesces,
+            "internal_fragmentation": self.internal_fragmentation,
+            "external_fragmentation": self.external_fragmentation,
+        }
+
+
+@dataclass
+class AllocatorStats:
+    """Roll-up of :class:`PoolStats` across all pools of a composed allocator."""
+
+    per_pool: dict[str, PoolStats] = field(default_factory=dict)
+
+    def pool(self, name: str) -> PoolStats:
+        """Return (creating if needed) the stats object for pool ``name``."""
+        if name not in self.per_pool:
+            self.per_pool[name] = PoolStats()
+        return self.per_pool[name]
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(stats.accesses.total for stats in self.per_pool.values())
+
+    @property
+    def total_reads(self) -> int:
+        return sum(stats.accesses.reads for stats in self.per_pool.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(stats.accesses.writes for stats in self.per_pool.values())
+
+    @property
+    def total_footprint(self) -> int:
+        return sum(stats.footprint for stats in self.per_pool.values())
+
+    @property
+    def total_peak_footprint(self) -> int:
+        return sum(stats.peak_footprint for stats in self.per_pool.values())
+
+    @property
+    def total_live_payload(self) -> int:
+        return sum(stats.live_payload for stats in self.per_pool.values())
+
+    @property
+    def total_alloc_ops(self) -> int:
+        return sum(stats.alloc_ops for stats in self.per_pool.values())
+
+    @property
+    def total_free_ops(self) -> int:
+        return sum(stats.free_ops for stats in self.per_pool.values())
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot keyed by pool name plus a ``__total__`` entry."""
+        data = {name: stats.snapshot() for name, stats in self.per_pool.items()}
+        data["__total__"] = {
+            "accesses": self.total_accesses,
+            "reads": self.total_reads,
+            "writes": self.total_writes,
+            "footprint": self.total_footprint,
+            "peak_footprint": self.total_peak_footprint,
+            "live_payload": self.total_live_payload,
+            "alloc_ops": self.total_alloc_ops,
+            "free_ops": self.total_free_ops,
+        }
+        return data

@@ -1,0 +1,169 @@
+"""Command-line interface of the exploration tool.
+
+``dmexplore`` (or ``python -m repro``) exposes the automated flow end to end:
+
+* ``dmexplore explore --workload easyport --space compact --out results.json``
+    run an exploration and store the result database,
+* ``dmexplore pareto results.json``
+    print the Pareto-optimal configurations of a stored database,
+* ``dmexplore report results.json --export-dir out/``
+    print the dashboard and export the CSV / gnuplot artefacts,
+* ``dmexplore trace --workload vtc --out vtc.trace``
+    generate and save a workload trace for inspection or reuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.exploration import ExplorationEngine, ExplorationSettings
+from .core.reporting import describe_record, exploration_report
+from .core.results import ResultDatabase
+from .core.space import (
+    compact_parameter_space,
+    default_parameter_space,
+    smoke_parameter_space,
+)
+from .gui.report import dashboard, export_artifacts
+from .memhier.hierarchy import embedded_three_level, embedded_two_level
+from .profiling.metrics import metric_keys
+from .workloads.easyport import EasyportWorkload
+from .workloads.synthetic import BurstyWorkload, UniformRandomWorkload
+from .workloads.traces import save_trace
+from .workloads.vtc import VTCWorkload
+
+#: Workload factories selectable from the command line.
+WORKLOADS = {
+    "easyport": lambda: EasyportWorkload(packets=4000),
+    "vtc": lambda: VTCWorkload(image_width=128, image_height=128),
+    "uniform": lambda: UniformRandomWorkload(operations=3000),
+    "bursty": lambda: BurstyWorkload(bursts=15, burst_length=80),
+}
+
+#: Parameter-space factories selectable from the command line.
+SPACES = {
+    "default": default_parameter_space,
+    "compact": compact_parameter_space,
+    "smoke": smoke_parameter_space,
+}
+
+#: Hierarchy factories selectable from the command line.
+HIERARCHIES = {
+    "2level": embedded_two_level,
+    "3level": embedded_three_level,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dmexplore",
+        description=(
+            "Automated exploration of Pareto-optimal dynamic-memory allocator "
+            "configurations (DATE 2006 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    explore_parser = subparsers.add_parser("explore", help="run an exploration")
+    explore_parser.add_argument("--workload", choices=sorted(WORKLOADS), default="easyport")
+    explore_parser.add_argument("--space", choices=sorted(SPACES), default="compact")
+    explore_parser.add_argument("--hierarchy", choices=sorted(HIERARCHIES), default="2level")
+    explore_parser.add_argument("--seed", type=int, default=2006)
+    explore_parser.add_argument(
+        "--sample", type=int, default=None, help="random-sample N points instead of exhaustive"
+    )
+    explore_parser.add_argument("--out", type=Path, default=Path("exploration.json"))
+    explore_parser.add_argument(
+        "--metrics", nargs="+", choices=metric_keys(), default=None
+    )
+
+    pareto_parser = subparsers.add_parser("pareto", help="list Pareto-optimal configurations")
+    pareto_parser.add_argument("database", type=Path)
+    pareto_parser.add_argument(
+        "--metrics", nargs="+", choices=metric_keys(), default=None
+    )
+
+    report_parser = subparsers.add_parser("report", help="print the exploration dashboard")
+    report_parser.add_argument("database", type=Path)
+    report_parser.add_argument("--export-dir", type=Path, default=None)
+    report_parser.add_argument("--x-metric", choices=metric_keys(), default="accesses")
+    report_parser.add_argument("--y-metric", choices=metric_keys(), default="footprint")
+
+    trace_parser = subparsers.add_parser("trace", help="generate and save a workload trace")
+    trace_parser.add_argument("--workload", choices=sorted(WORKLOADS), default="easyport")
+    trace_parser.add_argument("--seed", type=int, default=2006)
+    trace_parser.add_argument("--out", type=Path, required=True)
+
+    return parser
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload]()
+    trace = workload.generate(seed=args.seed)
+    space = SPACES[args.space]()
+    hierarchy = HIERARCHIES[args.hierarchy]()
+    settings = ExplorationSettings(
+        metrics=args.metrics or metric_keys(),
+        sample=args.sample,
+        progress_every=max(1, (args.sample or space.size()) // 10),
+    )
+    print(f"workload: {workload.describe()}")
+    print(f"space: {space.size()} configurations ({args.space})")
+    engine = ExplorationEngine(space, trace, hierarchy=hierarchy, settings=settings)
+    database = engine.explore()
+    database.to_json(args.out)
+    print(f"stored {len(database)} results in {args.out}")
+    print(exploration_report(database, title=f"{args.workload} exploration"))
+    return 0
+
+
+def _command_pareto(args: argparse.Namespace) -> int:
+    database = ResultDatabase.from_json(args.database)
+    records = database.pareto_records(args.metrics)
+    print(f"{len(records)} Pareto-optimal configurations (of {len(database)}):")
+    for record in sorted(records, key=lambda r: r.metrics.accesses):
+        print("  " + describe_record(record, args.metrics))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    database = ResultDatabase.from_json(args.database)
+    print(dashboard(database, x_metric=args.x_metric, y_metric=args.y_metric))
+    if args.export_dir is not None:
+        paths = export_artifacts(database, args.export_dir)
+        print("\nexported artefacts:")
+        for kind, path in sorted(paths.items()):
+            print(f"  {kind}: {path}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload]()
+    trace = workload.generate(seed=args.seed)
+    lines = save_trace(trace, args.out)
+    summary = trace.summary()
+    print(f"wrote {lines} lines to {args.out}")
+    print(
+        f"{summary.alloc_count} allocations / {summary.free_count} frees, "
+        f"peak live {summary.peak_live_bytes} bytes"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``dmexplore`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "explore": _command_explore,
+        "pareto": _command_pareto,
+        "report": _command_report,
+        "trace": _command_trace,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

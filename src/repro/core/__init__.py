@@ -1,0 +1,93 @@
+"""Exploration core: parameter spaces, configurations, factory, Pareto analysis."""
+
+from .configuration import (
+    POOL_KINDS,
+    AllocatorConfiguration,
+    PoolSpec,
+    configuration_from_point,
+)
+from .exploration import ExplorationEngine, ExplorationSettings, explore
+from .factory import AllocatorFactory, BuiltAllocator, build_allocator
+from .parameters import Parameter, ParameterSpace
+from .pareto import (
+    dominates,
+    hypervolume_2d,
+    knee_point,
+    non_dominated,
+    pareto_front,
+    pareto_front_indices,
+    pareto_rank,
+    sort_front,
+)
+from .reporting import (
+    describe_record,
+    exploration_report,
+    format_metric_value,
+    pareto_listing,
+    tradeoff_table,
+)
+from .results import ExplorationRecord, ResultDatabase
+from .search import (
+    EvolutionarySearch,
+    HillClimbSearch,
+    RandomSearch,
+    SearchBudget,
+    SearchStrategy,
+)
+from .space import (
+    compact_parameter_space,
+    default_parameter_space,
+    easyport_parameter_space,
+    smoke_parameter_space,
+    vtc_parameter_space,
+)
+from .tradeoff import (
+    MetricTradeoff,
+    TradeoffAnalysis,
+    TradeoffSummary,
+    compare_against_baseline,
+)
+
+__all__ = [
+    "AllocatorConfiguration",
+    "AllocatorFactory",
+    "BuiltAllocator",
+    "EvolutionarySearch",
+    "ExplorationEngine",
+    "ExplorationRecord",
+    "ExplorationSettings",
+    "HillClimbSearch",
+    "MetricTradeoff",
+    "POOL_KINDS",
+    "Parameter",
+    "ParameterSpace",
+    "PoolSpec",
+    "RandomSearch",
+    "ResultDatabase",
+    "SearchBudget",
+    "SearchStrategy",
+    "TradeoffAnalysis",
+    "TradeoffSummary",
+    "build_allocator",
+    "compact_parameter_space",
+    "compare_against_baseline",
+    "configuration_from_point",
+    "default_parameter_space",
+    "describe_record",
+    "dominates",
+    "easyport_parameter_space",
+    "exploration_report",
+    "explore",
+    "format_metric_value",
+    "hypervolume_2d",
+    "knee_point",
+    "non_dominated",
+    "pareto_front",
+    "pareto_front_indices",
+    "pareto_listing",
+    "pareto_rank",
+    "smoke_parameter_space",
+    "sort_front",
+    "tradeoff_table",
+    "vtc_parameter_space",
+]

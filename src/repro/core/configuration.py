@@ -1,0 +1,248 @@
+"""Allocator configurations.
+
+A configuration is the complete recipe for one candidate allocator: the list
+of pools to compose (with their types, block sizes and policies) and the
+memory-hierarchy placement of each pool.  Configurations are pure data —
+they can be hashed, serialised, stored in result databases and rebuilt into
+a live allocator by :mod:`repro.core.factory`.
+
+:func:`configuration_from_point` translates a parameter-space point (the
+"what the designer swept" view) into a configuration (the "what gets built"
+view).  That translation encodes the paper's methodology: the ``n`` most
+frequent block sizes of the application get dedicated pools, placed where
+the mapping parameter says, in front of a general fallback pool whose
+internal policies are the remaining parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..allocator.errors import ConfigurationError
+
+#: Pool kinds the factory knows how to build.
+POOL_KINDS = ("fixed", "slab", "general", "segregated", "buddy", "region")
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Declarative description of one pool of a composed allocator.
+
+    Attributes
+    ----------
+    name:
+        Unique pool name within the configuration.
+    kind:
+        One of :data:`POOL_KINDS`.
+    block_size:
+        Served block size for ``fixed``/``slab`` pools (ignored otherwise).
+    module:
+        Name of the memory module the pool is placed on; empty string means
+        the hierarchy's background (last-level) module.
+    reserved_bytes:
+        Explicit capacity reservation on the module (``None`` = remaining).
+    free_list / fit / coalescing / splitting:
+        Policy names for ``general`` pools.
+    chunk_size:
+        Growth granularity of the pool's backing region.
+    max_block_size:
+        Largest request the pool accepts (``None`` = unbounded); used to
+        bound general pools when a larger fallback exists behind them.
+    """
+
+    name: str
+    kind: str = "general"
+    block_size: int = 0
+    module: str = ""
+    reserved_bytes: int | None = None
+    free_list: str = "lifo"
+    fit: str = "first_fit"
+    coalescing: str = "never"
+    splitting: str = "never"
+    chunk_size: int = 4096
+    max_block_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("pool spec needs a name")
+        if self.kind not in POOL_KINDS:
+            raise ConfigurationError(
+                f"unknown pool kind '{self.kind}' (valid: {', '.join(POOL_KINDS)})"
+            )
+        if self.kind in ("fixed", "slab") and self.block_size <= 0:
+            raise ConfigurationError(
+                f"pool '{self.name}' of kind '{self.kind}' needs a positive block_size"
+            )
+        if self.chunk_size <= 0:
+            raise ConfigurationError(f"pool '{self.name}' needs a positive chunk_size")
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "block_size": self.block_size,
+            "module": self.module,
+            "reserved_bytes": self.reserved_bytes,
+            "free_list": self.free_list,
+            "fit": self.fit,
+            "coalescing": self.coalescing,
+            "splitting": self.splitting,
+            "chunk_size": self.chunk_size,
+            "max_block_size": self.max_block_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PoolSpec":
+        return cls(**data)
+
+
+@dataclass
+class AllocatorConfiguration:
+    """One point of the design space, ready to be built and profiled."""
+
+    pools: list[PoolSpec] = field(default_factory=list)
+    label: str = ""
+    parameters: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.pools:
+            raise ConfigurationError("a configuration needs at least one pool")
+        names = [pool.name for pool in self.pools]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate pool names in configuration: {names}")
+
+    @property
+    def configuration_id(self) -> str:
+        """Stable identifier derived from the configuration contents."""
+        if self.label:
+            return self.label
+        return self.fingerprint()
+
+    def fingerprint(self) -> str:
+        """Content hash (stable across processes) of the configuration."""
+        payload = json.dumps(
+            [pool.as_dict() for pool in self.pools], sort_keys=True
+        ).encode("utf-8")
+        return "cfg_" + hashlib.sha1(payload).hexdigest()[:12]
+
+    @property
+    def dedicated_pools(self) -> list[PoolSpec]:
+        """Pools serving a single block size (fixed or slab)."""
+        return [pool for pool in self.pools if pool.kind in ("fixed", "slab")]
+
+    @property
+    def fallback_pool(self) -> PoolSpec:
+        """The last pool, which must accept every request size."""
+        return self.pools[-1]
+
+    def pools_on_module(self, module_name: str) -> list[PoolSpec]:
+        return [pool for pool in self.pools if pool.module == module_name]
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "parameters": self.parameters,
+            "pools": [pool.as_dict() for pool in self.pools],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocatorConfiguration":
+        return cls(
+            pools=[PoolSpec.from_dict(entry) for entry in data["pools"]],
+            label=data.get("label", ""),
+            parameters=dict(data.get("parameters", {})),
+        )
+
+    def describe(self) -> str:
+        lines = [f"Configuration {self.configuration_id}:"]
+        for pool in self.pools:
+            placement = pool.module or "(background)"
+            if pool.kind in ("fixed", "slab"):
+                detail = f"{pool.kind} pool for {pool.block_size}-byte blocks"
+            elif pool.kind == "general":
+                detail = (
+                    f"general pool [{pool.free_list}/{pool.fit}/"
+                    f"coalesce:{pool.coalescing}/split:{pool.splitting}]"
+                )
+            else:
+                detail = f"{pool.kind} pool"
+            lines.append(f"  {pool.name}: {detail} -> {placement}")
+        return "\n".join(lines)
+
+
+def configuration_from_point(
+    point: dict,
+    hot_sizes: list[int],
+    scratchpad_module: str = "l1_scratchpad",
+    main_module: str = "main_memory",
+    label: str = "",
+) -> AllocatorConfiguration:
+    """Translate a parameter-space point into a buildable configuration.
+
+    The expected parameters (each optional, with a general-purpose default)
+    are the axes of :func:`repro.core.space.default_parameter_space`:
+
+    ``num_dedicated_pools``
+        How many of the application's ``hot_sizes`` get a dedicated pool.
+    ``dedicated_pool_kind``
+        ``"fixed"`` or ``"slab"`` dedicated pools.
+    ``dedicated_pool_placement``
+        ``"scratchpad"`` or ``"main"`` — where dedicated pools live.
+    ``general_free_list`` / ``general_fit`` / ``general_coalescing`` /
+    ``general_splitting``
+        Policies of the general fallback pool.
+    ``general_placement``
+        Placement of the general pool (usually main memory).
+    ``chunk_size``
+        Growth granularity of the general pool.
+    """
+    num_dedicated = int(point.get("num_dedicated_pools", 0))
+    if num_dedicated < 0:
+        raise ConfigurationError("num_dedicated_pools must be non-negative")
+    if num_dedicated > len(hot_sizes):
+        num_dedicated = len(hot_sizes)
+
+    dedicated_kind = str(point.get("dedicated_pool_kind", "fixed"))
+    dedicated_placement = str(point.get("dedicated_pool_placement", "scratchpad"))
+    general_placement = str(point.get("general_placement", "main"))
+    chunk_size = int(point.get("chunk_size", 4096))
+
+    def module_for(placement: str) -> str:
+        if placement == "scratchpad":
+            return scratchpad_module
+        if placement == "main":
+            return main_module
+        # Allow explicit module names to pass through for richer hierarchies.
+        return placement
+
+    pools: list[PoolSpec] = []
+    # Dedicated pools are dispatched smallest-block-size first so that a
+    # request is served by the tightest dedicated pool that fits it.
+    selected_sizes = sorted(hot_sizes[:num_dedicated])
+    for size in selected_sizes:
+        pools.append(
+            PoolSpec(
+                name=f"dedicated_{size}B",
+                kind=dedicated_kind,
+                block_size=size,
+                module=module_for(dedicated_placement),
+                chunk_size=min(chunk_size, 4096),
+            )
+        )
+
+    pools.append(
+        PoolSpec(
+            name="general",
+            kind="general",
+            module=module_for(general_placement),
+            free_list=str(point.get("general_free_list", "lifo")),
+            fit=str(point.get("general_fit", "first_fit")),
+            coalescing=str(point.get("general_coalescing", "never")),
+            splitting=str(point.get("general_splitting", "never")),
+            chunk_size=chunk_size,
+        )
+    )
+
+    return AllocatorConfiguration(pools=pools, label=label, parameters=dict(point))

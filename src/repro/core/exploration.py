@@ -1,0 +1,158 @@
+"""Exploration engine: the automated flow of the paper.
+
+Given a parameter space, a workload trace and a memory hierarchy, the engine
+
+1. enumerates the space (exhaustively or by sampling),
+2. builds the allocator for every point (:mod:`repro.core.factory`),
+3. profiles the trace through it (:mod:`repro.profiling.profiler`),
+4. stores the metrics in a :class:`ResultDatabase`,
+5. and extracts the Pareto-optimal configurations.
+
+This is the fully automated loop of Figure 1 of the paper; the GUI/plot
+outputs live in :mod:`repro.gui` and consume the database produced here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from ..memhier.energy import EnergyModel
+from ..memhier.hierarchy import MemoryHierarchy, embedded_two_level
+from ..profiling.metrics import metric_keys
+from ..profiling.profiler import Profiler, ProfilerOptions
+from ..profiling.tracer import AllocationTrace
+from .configuration import AllocatorConfiguration, configuration_from_point
+from .factory import AllocatorFactory
+from .parameters import ParameterSpace
+from .results import ExplorationRecord, ResultDatabase
+
+
+@dataclass
+class ExplorationSettings:
+    """Tunables of an exploration run."""
+
+    metrics: list[str] = field(default_factory=metric_keys)
+    sample: int | None = None
+    sample_seed: int = 0
+    payload_access_factor: float = 2.0
+    progress_every: int = 0
+    label_prefix: str = "cfg"
+
+
+class ExplorationEngine:
+    """Drives the explore → profile → Pareto pipeline for one workload trace."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        trace: AllocationTrace,
+        hierarchy: MemoryHierarchy | None = None,
+        hot_sizes: list[int] | None = None,
+        settings: ExplorationSettings | None = None,
+        energy_model: EnergyModel | None = None,
+        progress_callback: Callable[[int, int], None] | None = None,
+    ) -> None:
+        self.space = space
+        self.trace = trace
+        self.hierarchy = hierarchy or embedded_two_level()
+        self.settings = settings or ExplorationSettings()
+        self.energy_model = energy_model or EnergyModel(self.hierarchy)
+        self.progress_callback = progress_callback
+        # The hot block sizes drive which dedicated pools a configuration can
+        # create; by default they are derived from the trace itself, exactly
+        # as the paper's profiling pass would.
+        self.hot_sizes = hot_sizes or trace.hot_sizes(top=8)
+        self.factory = AllocatorFactory(self.hierarchy)
+
+    # -- configuration construction ------------------------------------------
+
+    def configuration_for(self, point: dict, label: str = "") -> AllocatorConfiguration:
+        """Build the configuration corresponding to one parameter point."""
+        return configuration_from_point(
+            point,
+            hot_sizes=self.hot_sizes,
+            scratchpad_module=self.hierarchy.fastest.name,
+            main_module=self.hierarchy.background_module.name,
+            label=label,
+        )
+
+    def enumerate_points(self) -> Iterable[tuple[int, dict]]:
+        """Yield (index, point) pairs according to the sampling settings."""
+        if self.settings.sample is None:
+            yield from enumerate(self.space.points())
+        else:
+            points = self.space.sample(self.settings.sample, seed=self.settings.sample_seed)
+            yield from enumerate(points)
+
+    # -- the exploration loop -----------------------------------------------
+
+    def run_point(self, point: dict, label: str = "") -> ExplorationRecord:
+        """Profile a single parameter point and return its record."""
+        configuration = self.configuration_for(point, label=label)
+        built = self.factory.build(configuration)
+        profiler = Profiler(
+            built.mapping,
+            energy_model=self.energy_model,
+            options=ProfilerOptions(
+                payload_access_factor=self.settings.payload_access_factor
+            ),
+        )
+        profile = profiler.run(built.allocator, self.trace, configuration.configuration_id)
+        oom_failures = int(
+            profile.per_pool.get("__profile__", {}).get("oom_failures", 0)
+        )
+        return ExplorationRecord(
+            configuration=configuration,
+            metrics=profile.totals,
+            trace_name=self.trace.name,
+            oom_failures=oom_failures,
+        )
+
+    def explore(self) -> ResultDatabase:
+        """Run the exploration over the whole (or sampled) space."""
+        database = ResultDatabase(name=f"{self.trace.name}-exploration")
+        total = (
+            self.space.size() if self.settings.sample is None else self.settings.sample
+        )
+        for index, point in self.enumerate_points():
+            label = f"{self.settings.label_prefix}{index:05d}"
+            record = self.run_point(point, label=label)
+            database.add(record)
+            if self.progress_callback is not None:
+                self.progress_callback(index + 1, total)
+            elif (
+                self.settings.progress_every
+                and (index + 1) % self.settings.progress_every == 0
+            ):
+                print(f"explored {index + 1}/{total} configurations", flush=True)
+        return database
+
+    # -- analysis shortcuts -----------------------------------------------
+
+    def pareto(self, database: ResultDatabase) -> list[ExplorationRecord]:
+        """Pareto-optimal records over the metrics chosen in the settings."""
+        return database.pareto_records(self.settings.metrics)
+
+
+def explore(
+    space: ParameterSpace,
+    trace: AllocationTrace,
+    hierarchy: MemoryHierarchy | None = None,
+    hot_sizes: list[int] | None = None,
+    sample: int | None = None,
+    metrics: list[str] | None = None,
+) -> ResultDatabase:
+    """One-shot exploration helper used by examples and benchmarks."""
+    settings = ExplorationSettings(
+        metrics=metrics or metric_keys(),
+        sample=sample,
+    )
+    engine = ExplorationEngine(
+        space,
+        trace,
+        hierarchy=hierarchy,
+        hot_sizes=hot_sizes,
+        settings=settings,
+    )
+    return engine.explore()

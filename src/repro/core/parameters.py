@@ -1,0 +1,178 @@
+"""Parameter space: the "list of arrays" input of the exploration tool.
+
+The only input the DATE'06 tool requires from the designer is, per
+parameter, the array of values to explore.  :class:`Parameter` is one such
+named array; :class:`ParameterSpace` is the ordered collection whose
+cartesian product is the configuration space.  The space knows how to
+enumerate itself exhaustively (the paper's default), to random-sample for
+quick estimates, and to report its size before any simulation is run so the
+designer knows what they asked for ("tens of thousands of highly customized
+DM allocators").
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One explored parameter: a name and the array of values to try."""
+
+    name: str
+    values: tuple = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if not self.values:
+            raise ValueError(f"parameter '{self.name}' needs at least one value")
+        # Freeze the values into a tuple so a space cannot be mutated after
+        # enumeration started.
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def index_of(self, value) -> int:
+        """Position of ``value`` in the array (raises ValueError when absent)."""
+        return self.values.index(value)
+
+
+class ParameterSpace:
+    """Ordered collection of parameters; its product is the design space."""
+
+    def __init__(self, parameters: Sequence[Parameter] | None = None) -> None:
+        self._parameters: list[Parameter] = []
+        self._by_name: dict[str, Parameter] = {}
+        for parameter in parameters or []:
+            self.add(parameter)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, parameter: Parameter) -> "ParameterSpace":
+        """Add a parameter (chainable); names must be unique."""
+        if parameter.name in self._by_name:
+            raise ValueError(f"duplicate parameter '{parameter.name}'")
+        self._parameters.append(parameter)
+        self._by_name[parameter.name] = parameter
+        return self
+
+    def add_array(self, name: str, values, description: str = "") -> "ParameterSpace":
+        """Convenience: add a parameter from a plain name + value array."""
+        return self.add(Parameter(name, tuple(values), description))
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters)
+
+    def parameter(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            valid = ", ".join(self._by_name)
+            raise KeyError(f"unknown parameter '{name}' (known: {valid})") from None
+
+    def names(self) -> list[str]:
+        return [parameter.name for parameter in self._parameters]
+
+    def size(self) -> int:
+        """Number of points in the full cartesian product."""
+        total = 1
+        for parameter in self._parameters:
+            total *= len(parameter)
+        return total
+
+    # -- enumeration -----------------------------------------------------------
+
+    def points(self) -> Iterator[dict]:
+        """Yield every point of the space as a ``{name: value}`` dict.
+
+        The iteration order is deterministic: the last parameter varies
+        fastest (row-major over the declared order), so point indices are
+        stable across runs and machines.
+        """
+        if not self._parameters:
+            return iter(())
+        names = self.names()
+        value_arrays = [parameter.values for parameter in self._parameters]
+        return (
+            dict(zip(names, combination))
+            for combination in itertools.product(*value_arrays)
+        )
+
+    def point_at(self, index: int) -> dict:
+        """The ``index``-th point of :meth:`points` without full enumeration."""
+        if index < 0 or index >= self.size():
+            raise IndexError(f"point index {index} out of range (size {self.size()})")
+        point = {}
+        remainder = index
+        for parameter in reversed(self._parameters):
+            count = len(parameter)
+            point[parameter.name] = parameter.values[remainder % count]
+            remainder //= count
+        return {name: point[name] for name in self.names()}
+
+    def index_of(self, point: dict) -> int:
+        """Inverse of :meth:`point_at` for a complete point."""
+        index = 0
+        for parameter in self._parameters:
+            if parameter.name not in point:
+                raise KeyError(f"point is missing parameter '{parameter.name}'")
+            index = index * len(parameter) + parameter.index_of(point[parameter.name])
+        return index
+
+    def sample(self, count: int, seed: int = 0) -> list[dict]:
+        """Uniform random sample of ``count`` distinct points (deterministic)."""
+        if count < 0:
+            raise ValueError("sample count must be non-negative")
+        total = self.size()
+        count = min(count, total)
+        rng = random.Random(seed)
+        indices = rng.sample(range(total), count)
+        return [self.point_at(index) for index in sorted(indices)]
+
+    def validate_point(self, point: dict) -> None:
+        """Check that ``point`` assigns a legal value to every parameter."""
+        for parameter in self._parameters:
+            if parameter.name not in point:
+                raise ValueError(f"point is missing parameter '{parameter.name}'")
+            if point[parameter.name] not in parameter.values:
+                raise ValueError(
+                    f"value {point[parameter.name]!r} is not in the array of "
+                    f"parameter '{parameter.name}'"
+                )
+        extras = set(point) - set(self._by_name)
+        if extras:
+            raise ValueError(f"point has unknown parameters: {sorted(extras)}")
+
+    # -- serialisation -----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (name -> value array) for docs and result files."""
+        return {parameter.name: list(parameter.values) for parameter in self._parameters}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParameterSpace":
+        space = cls()
+        for name, values in data.items():
+            space.add_array(name, values)
+        return space
+
+    def describe(self) -> str:
+        lines = [f"Parameter space: {self.size()} configurations"]
+        for parameter in self._parameters:
+            values = ", ".join(repr(value) for value in parameter.values)
+            lines.append(f"  {parameter.name}: [{values}]")
+        return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Pareto-dominance machinery.
+
+The final step of the DATE'06 flow: given the metric values of every
+explored configuration, keep only the Pareto-optimal ones — those for which
+no other configuration is at least as good on every chosen metric and
+strictly better on one.  All metrics are minimised (accesses, footprint,
+energy, execution time).
+
+The functions here are generic over "items with metric vectors"; the
+exploration layer calls them with :class:`ExplorationRecord` objects, and
+tests call them with plain tuples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """True when vector ``first`` Pareto-dominates vector ``second``.
+
+    Domination (minimisation): ``first`` is no worse than ``second`` on
+    every objective and strictly better on at least one.  Vectors must have
+    the same length.
+    """
+    if len(first) != len(second):
+        raise ValueError(
+            f"cannot compare vectors of different lengths ({len(first)} vs {len(second)})"
+        )
+    strictly_better = False
+    for left, right in zip(first, second):
+        if left > right:
+            return False
+        if left < right:
+            strictly_better = True
+    return strictly_better
+
+
+def non_dominated(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated vectors (the Pareto front).
+
+    Duplicated vectors are all kept (they do not dominate each other), which
+    matches the paper's counting of distinct *configurations* rather than
+    distinct metric points.
+    """
+    front: list[int] = []
+    for index, candidate in enumerate(vectors):
+        dominated = False
+        for other_index, other in enumerate(vectors):
+            if other_index == index:
+                continue
+            if dominates(other, candidate):
+                dominated = True
+                break
+            # A duplicate earlier in the list keeps only its first occurrence
+            # out of strictness concerns?  No: keep both (see docstring).
+        if not dominated:
+            front.append(index)
+    return front
+
+
+def pareto_front(
+    items: Sequence[T],
+    key: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Return the Pareto-optimal subset of ``items`` under metric ``key``."""
+    vectors = [tuple(key(item)) for item in items]
+    return [items[index] for index in non_dominated(vectors)]
+
+
+def pareto_front_indices(
+    items: Sequence[T],
+    key: Callable[[T], Sequence[float]],
+) -> list[int]:
+    """Indices (into ``items``) of the Pareto-optimal subset."""
+    vectors = [tuple(key(item)) for item in items]
+    return non_dominated(vectors)
+
+
+def pareto_rank(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Non-dominated sorting rank of every vector (0 = on the Pareto front).
+
+    Rank ``k`` means the vector becomes non-dominated once all vectors of
+    rank < ``k`` are removed — the standard NSGA-style layering, useful for
+    the evolutionary search extension and for reporting "how far from
+    optimal" a configuration is.
+    """
+    remaining = list(range(len(vectors)))
+    ranks = [0] * len(vectors)
+    current_rank = 0
+    while remaining:
+        subset = [vectors[index] for index in remaining]
+        front_local = non_dominated(subset)
+        front_global = {remaining[i] for i in front_local}
+        if not front_global:
+            # Should not happen, but guard against infinite loops.
+            front_global = set(remaining)
+        for index in front_global:
+            ranks[index] = current_rank
+        remaining = [index for index in remaining if index not in front_global]
+        current_rank += 1
+    return ranks
+
+
+def sort_front(
+    items: Sequence[T],
+    key: Callable[[T], Sequence[float]],
+    objective_index: int = 0,
+) -> list[T]:
+    """Sort Pareto-front items by one objective (for plotting a curve)."""
+    return sorted(items, key=lambda item: tuple(key(item))[objective_index])
+
+
+def hypervolume_2d(
+    vectors: Sequence[Sequence[float]],
+    reference: Sequence[float],
+) -> float:
+    """Hypervolume (area) dominated by a 2-D front w.r.t. a reference point.
+
+    A standard quality indicator for two-objective fronts: larger is better.
+    The reference point must be dominated by every vector (i.e. be the
+    "worst corner"); vectors outside it contribute nothing.
+    """
+    if len(reference) != 2:
+        raise ValueError("hypervolume_2d needs a 2-D reference point")
+    front = [
+        tuple(vector)
+        for vector in vectors
+        if len(vector) == 2 and vector[0] <= reference[0] and vector[1] <= reference[1]
+    ]
+    if not front:
+        return 0.0
+    # Keep only non-dominated points, sorted by the first objective.
+    front = [front[i] for i in non_dominated(front)]
+    front.sort()
+    area = 0.0
+    previous_y = reference[1]
+    for x, y in front:
+        width = reference[0] - x
+        height = previous_y - y
+        if width > 0 and height > 0:
+            area += width * height
+        previous_y = min(previous_y, y)
+    return area
+
+
+def knee_point(
+    items: Sequence[T],
+    key: Callable[[T], Sequence[float]],
+) -> T | None:
+    """The "knee" of a front: the item closest to the normalised ideal point.
+
+    A common way to suggest a single balanced trade-off to the designer when
+    they do not want to inspect the whole front.
+    """
+    if not items:
+        return None
+    vectors = [tuple(key(item)) for item in items]
+    dimensions = len(vectors[0])
+    minima = [min(vector[d] for vector in vectors) for d in range(dimensions)]
+    maxima = [max(vector[d] for vector in vectors) for d in range(dimensions)]
+
+    def normalised_distance(vector: Sequence[float]) -> float:
+        distance = 0.0
+        for d in range(dimensions):
+            span = maxima[d] - minima[d]
+            if span == 0:
+                continue
+            normalised = (vector[d] - minima[d]) / span
+            distance += normalised**2
+        return distance
+
+    best_index = min(range(len(items)), key=lambda i: normalised_distance(vectors[i]))
+    return items[best_index]

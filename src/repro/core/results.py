@@ -1,0 +1,225 @@
+"""Result database: storage, query and export of exploration outcomes.
+
+Each explored configuration yields one :class:`ExplorationRecord` (the
+configuration, its parameter point and the measured metrics).
+:class:`ResultDatabase` collects them, answers the queries the analysis
+layer needs (best/worst per metric, Pareto subsets, parameter slices) and
+exports to CSV / JSON / gnuplot-friendly data files, mirroring the paper's
+"results ... in a format easy to import to Excel or Gnuplot".
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..profiling.metrics import MetricSet, metric_keys
+from .configuration import AllocatorConfiguration
+from .pareto import knee_point, pareto_front
+
+
+@dataclass
+class ExplorationRecord:
+    """Outcome of profiling one configuration.
+
+    ``oom_failures`` counts allocations the configuration could not serve
+    (its pools exhausted the memory modules they are mapped on).  Such a
+    configuration is *infeasible*: it did not actually run the application,
+    so by default it is excluded from ranges and Pareto extraction — an
+    allocator that drops requests would trivially "win" every metric.
+    """
+
+    configuration: AllocatorConfiguration
+    metrics: MetricSet
+    trace_name: str = ""
+    index: int = 0
+    oom_failures: int = 0
+
+    @property
+    def configuration_id(self) -> str:
+        return self.configuration.configuration_id
+
+    @property
+    def parameters(self) -> dict:
+        return self.configuration.parameters
+
+    @property
+    def feasible(self) -> bool:
+        """True when the configuration served every allocation of the trace."""
+        return self.oom_failures == 0
+
+    def metric_vector(self, keys: list[str] | None = None) -> tuple[float, ...]:
+        return self.metrics.values(keys)
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "configuration": self.configuration.as_dict(),
+            "metrics": self.metrics.as_dict(),
+            "trace_name": self.trace_name,
+            "oom_failures": self.oom_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationRecord":
+        return cls(
+            configuration=AllocatorConfiguration.from_dict(data["configuration"]),
+            metrics=MetricSet.from_dict(data["metrics"]),
+            trace_name=data.get("trace_name", ""),
+            index=int(data.get("index", 0)),
+            oom_failures=int(data.get("oom_failures", 0)),
+        )
+
+
+class ResultDatabase:
+    """In-memory store of exploration records with query and export helpers."""
+
+    def __init__(self, name: str = "exploration") -> None:
+        self.name = name
+        self._records: list[ExplorationRecord] = []
+
+    # -- collection ------------------------------------------------------
+
+    def add(self, record: ExplorationRecord) -> None:
+        record.index = len(self._records)
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ExplorationRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> ExplorationRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> list[ExplorationRecord]:
+        return list(self._records)
+
+    # -- queries -----------------------------------------------------------
+
+    def feasible_records(self) -> list[ExplorationRecord]:
+        """Records of configurations that served every allocation of the trace."""
+        return [record for record in self._records if record.feasible]
+
+    def infeasible_records(self) -> list[ExplorationRecord]:
+        """Records of configurations that ran out of memory on the trace."""
+        return [record for record in self._records if not record.feasible]
+
+    def _candidate_records(self, feasible_only: bool) -> list[ExplorationRecord]:
+        records = self.feasible_records() if feasible_only else list(self._records)
+        if not records:
+            raise ValueError(
+                "result database has no "
+                + ("feasible " if feasible_only else "")
+                + "records"
+            )
+        return records
+
+    def best_by(self, metric: str, feasible_only: bool = True) -> ExplorationRecord:
+        """Record with the lowest value of ``metric``."""
+        records = self._candidate_records(feasible_only)
+        return min(records, key=lambda record: record.metrics.value(metric))
+
+    def worst_by(self, metric: str, feasible_only: bool = True) -> ExplorationRecord:
+        """Record with the highest value of ``metric``."""
+        records = self._candidate_records(feasible_only)
+        return max(records, key=lambda record: record.metrics.value(metric))
+
+    def metric_range(self, metric: str, feasible_only: bool = True) -> tuple[float, float]:
+        """(min, max) of ``metric`` across the (feasible by default) records."""
+        records = self._candidate_records(feasible_only)
+        values = [record.metrics.value(metric) for record in records]
+        return min(values), max(values)
+
+    def filter(self, predicate: Callable[[ExplorationRecord], bool]) -> list[ExplorationRecord]:
+        return [record for record in self._records if predicate(record)]
+
+    def where_parameter(self, name: str, value) -> list[ExplorationRecord]:
+        """Records whose parameter point assigns ``value`` to ``name``."""
+        return self.filter(lambda record: record.parameters.get(name) == value)
+
+    def pareto_records(
+        self, metrics: list[str] | None = None, feasible_only: bool = True
+    ) -> list[ExplorationRecord]:
+        """The Pareto-optimal subset over the chosen metrics (all four by default).
+
+        Infeasible configurations (OOM on the trace) are excluded by default:
+        an allocator that dropped allocations would otherwise look
+        artificially cheap on every metric.
+        """
+        keys = metrics or metric_keys()
+        candidates = (
+            self.feasible_records() if feasible_only else list(self._records)
+        )
+        return pareto_front(candidates, key=lambda record: record.metric_vector(keys))
+
+    def knee_record(self, metrics: list[str] | None = None) -> ExplorationRecord | None:
+        """The balanced "knee" configuration of the Pareto front."""
+        keys = metrics or metric_keys()
+        front = self.pareto_records(keys)
+        return knee_point(front, key=lambda record: record.metric_vector(keys))
+
+    # -- export -----------------------------------------------------------
+
+    def metric_table(self, metrics: list[str] | None = None) -> list[dict]:
+        """Flat table (one dict per record) of ids, parameters and metrics."""
+        keys = metrics or metric_keys()
+        table = []
+        for record in self._records:
+            row = {"index": record.index, "configuration_id": record.configuration_id}
+            row.update({f"param_{k}": v for k, v in sorted(record.parameters.items())})
+            for key in keys:
+                row[key] = record.metrics.value(key)
+            table.append(row)
+        return table
+
+    def to_csv(self, path: str | Path, metrics: list[str] | None = None) -> int:
+        """Write the metric table as CSV (Excel-importable); returns row count."""
+        table = self.metric_table(metrics)
+        if not table:
+            Path(path).write_text("", encoding="utf-8")
+            return 0
+        fieldnames = list(table[0].keys())
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for row in table:
+                writer.writerow(row)
+        return len(table)
+
+    def to_json(self, path: str | Path) -> None:
+        """Serialise the whole database (records + configurations) as JSON."""
+        payload = {
+            "name": self.name,
+            "records": [record.as_dict() for record in self._records],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ResultDatabase":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        database = cls(name=payload.get("name", "exploration"))
+        for entry in payload.get("records", []):
+            database.add(ExplorationRecord.from_dict(entry))
+        return database
+
+    def summary(self) -> dict:
+        """Aggregate view used by reports: sizes, ranges, Pareto count."""
+        if not self._records:
+            return {"records": 0}
+        data: dict = {
+            "records": len(self._records),
+            "feasible": len(self.feasible_records()),
+        }
+        if not self.feasible_records():
+            return data
+        for key in metric_keys():
+            low, high = self.metric_range(key)
+            data[key] = {"min": low, "max": high}
+        data["pareto_count"] = len(self.pareto_records())
+        return data

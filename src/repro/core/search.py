@@ -1,0 +1,229 @@
+"""Heuristic search strategies over the parameter space (extension).
+
+The paper explores the space exhaustively (its spaces are enumerable in a
+night of simulation).  For larger spaces, or when the designer wants a
+preview before committing to a full run, this module provides three
+classic design-space-exploration strategies that reuse the same
+point-evaluation machinery as the exhaustive engine:
+
+* :class:`RandomSearch`        — uniform sampling of the space.
+* :class:`HillClimbSearch`     — local search mutating one parameter at a
+                                 time, restarted from random points.
+* :class:`EvolutionarySearch`  — a small (mu + lambda) evolutionary
+                                 algorithm with Pareto-rank selection, the
+                                 standard tool for multi-objective DSE.
+
+All strategies return a :class:`ResultDatabase`, so the downstream Pareto /
+trade-off / reporting code is identical to the exhaustive path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..profiling.metrics import metric_keys
+from .exploration import ExplorationEngine
+from .pareto import pareto_rank
+from .results import ExplorationRecord, ResultDatabase
+
+
+@dataclass
+class SearchBudget:
+    """How many configuration evaluations a heuristic search may spend."""
+
+    evaluations: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.evaluations <= 0:
+            raise ValueError("evaluation budget must be positive")
+
+
+class SearchStrategy:
+    """Base class: evaluates points through an :class:`ExplorationEngine`."""
+
+    name = "abstract"
+
+    def __init__(self, engine: ExplorationEngine, budget: SearchBudget | None = None) -> None:
+        self.engine = engine
+        self.budget = budget or SearchBudget()
+        self.rng = random.Random(self.budget.seed)
+        self._evaluated: dict[int, ExplorationRecord] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _evaluate(self, point: dict, database: ResultDatabase) -> ExplorationRecord:
+        """Evaluate a point, memoising by its index in the space."""
+        index = self.engine.space.index_of(point)
+        if index in self._evaluated:
+            return self._evaluated[index]
+        record = self.engine.run_point(point, label=f"{self.name}_{index:06d}")
+        self._evaluated[index] = record
+        database.add(record)
+        return record
+
+    @property
+    def evaluations_used(self) -> int:
+        return len(self._evaluated)
+
+    def _random_point(self) -> dict:
+        return self.engine.space.point_at(self.rng.randrange(self.engine.space.size()))
+
+    def _mutate(self, point: dict) -> dict:
+        """Change one randomly chosen parameter to a different value."""
+        mutated = dict(point)
+        parameter = self.rng.choice(list(self.engine.space))
+        alternatives = [value for value in parameter.values if value != point[parameter.name]]
+        if alternatives:
+            mutated[parameter.name] = self.rng.choice(alternatives)
+        return mutated
+
+    def _crossover(self, first: dict, second: dict) -> dict:
+        """Uniform crossover of two points."""
+        child = {}
+        for parameter in self.engine.space:
+            source = first if self.rng.random() < 0.5 else second
+            child[parameter.name] = source[parameter.name]
+        return child
+
+    def run(self) -> ResultDatabase:
+        raise NotImplementedError
+
+
+class RandomSearch(SearchStrategy):
+    """Uniformly sample the space until the budget is spent."""
+
+    name = "random"
+
+    def run(self) -> ResultDatabase:
+        database = ResultDatabase(name=f"{self.engine.trace.name}-random-search")
+        total = min(self.budget.evaluations, self.engine.space.size())
+        points = self.engine.space.sample(total, seed=self.budget.seed)
+        for point in points:
+            self._evaluate(point, database)
+        return database
+
+
+class HillClimbSearch(SearchStrategy):
+    """Single-parameter hill climbing with random restarts.
+
+    Minimises a scalarised objective (the normalised sum of the chosen
+    metrics) — a simple but effective local search when the designer wants
+    one good configuration quickly rather than the whole front.
+    """
+
+    name = "hillclimb"
+
+    def __init__(
+        self,
+        engine: ExplorationEngine,
+        budget: SearchBudget | None = None,
+        metrics: list[str] | None = None,
+        neighbours_per_step: int = 4,
+    ) -> None:
+        super().__init__(engine, budget)
+        self.metrics = metrics or metric_keys()
+        self.neighbours_per_step = neighbours_per_step
+
+    def _score(self, record: ExplorationRecord, scales: dict[str, float]) -> float:
+        return sum(
+            record.metrics.value(metric) / scales[metric] for metric in self.metrics
+        )
+
+    def run(self) -> ResultDatabase:
+        database = ResultDatabase(name=f"{self.engine.trace.name}-hillclimb")
+        # Scale metrics by the value of an initial random point so that
+        # objectives with large magnitudes do not dominate the scalarisation.
+        current_point = self._random_point()
+        current = self._evaluate(current_point, database)
+        scales = {
+            metric: max(current.metrics.value(metric), 1.0) for metric in self.metrics
+        }
+        current_score = self._score(current, scales)
+        while self.evaluations_used < self.budget.evaluations:
+            improved = False
+            for _ in range(self.neighbours_per_step):
+                if self.evaluations_used >= self.budget.evaluations:
+                    break
+                neighbour_point = self._mutate(current_point)
+                neighbour = self._evaluate(neighbour_point, database)
+                score = self._score(neighbour, scales)
+                if score < current_score:
+                    current_point, current, current_score = (
+                        neighbour_point,
+                        neighbour,
+                        score,
+                    )
+                    improved = True
+            if not improved:
+                # Random restart.
+                if self.evaluations_used >= self.budget.evaluations:
+                    break
+                current_point = self._random_point()
+                current = self._evaluate(current_point, database)
+                current_score = self._score(current, scales)
+        return database
+
+
+class EvolutionarySearch(SearchStrategy):
+    """(mu + lambda) evolutionary search with Pareto-rank selection."""
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        engine: ExplorationEngine,
+        budget: SearchBudget | None = None,
+        metrics: list[str] | None = None,
+        population: int = 16,
+        offspring: int = 16,
+        mutation_rate: float = 0.3,
+    ) -> None:
+        super().__init__(engine, budget)
+        if population <= 1 or offspring <= 0:
+            raise ValueError("population must be > 1 and offspring > 0")
+        self.metrics = metrics or metric_keys()
+        self.population_size = population
+        self.offspring_size = offspring
+        self.mutation_rate = mutation_rate
+
+    def _select(self, records: list[ExplorationRecord]) -> list[ExplorationRecord]:
+        """Keep the best ``population_size`` records by Pareto rank, then by
+        the first metric as a tiebreaker."""
+        vectors = [record.metric_vector(self.metrics) for record in records]
+        ranks = pareto_rank(vectors)
+        order = sorted(
+            range(len(records)),
+            key=lambda i: (ranks[i], vectors[i][0]),
+        )
+        return [records[i] for i in order[: self.population_size]]
+
+    def run(self) -> ResultDatabase:
+        database = ResultDatabase(name=f"{self.engine.trace.name}-evolutionary")
+        population: list[tuple[dict, ExplorationRecord]] = []
+        while (
+            len(population) < self.population_size
+            and self.evaluations_used < self.budget.evaluations
+        ):
+            point = self._random_point()
+            population.append((point, self._evaluate(point, database)))
+        while self.evaluations_used < self.budget.evaluations:
+            offspring: list[tuple[dict, ExplorationRecord]] = []
+            for _ in range(self.offspring_size):
+                if self.evaluations_used >= self.budget.evaluations:
+                    break
+                first, second = self.rng.sample(population, 2)
+                child_point = self._crossover(first[0], second[0])
+                if self.rng.random() < self.mutation_rate:
+                    child_point = self._mutate(child_point)
+                offspring.append((child_point, self._evaluate(child_point, database)))
+            combined = population + offspring
+            selected_records = self._select([record for _point, record in combined])
+            selected_ids = {id(record) for record in selected_records}
+            population = [
+                (point, record) for point, record in combined if id(record) in selected_ids
+            ][: self.population_size]
+            if not offspring:
+                break
+        return database

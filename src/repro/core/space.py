@@ -1,0 +1,110 @@
+"""Standard parameter spaces for the exploration.
+
+The paper's designer writes "the list of arrays with the parameter values to
+be explored".  This module provides ready-made spaces: the default axes used
+by both case studies, a small smoke-test space for examples and tests, and
+workload-specific variants.  Every space here produces points understood by
+:func:`repro.core.configuration.configuration_from_point`.
+"""
+
+from __future__ import annotations
+
+from ..allocator.coalescing import coalescing_policy_names
+from ..allocator.fit import fit_policy_names
+from ..allocator.freelist import free_list_policy_names
+from ..allocator.splitting import splitting_policy_names
+from .parameters import ParameterSpace
+
+
+def default_parameter_space(max_dedicated_pools: int = 5) -> ParameterSpace:
+    """The full exploration space used for the case-study experiments.
+
+    Axes (and their value arrays):
+
+    * ``num_dedicated_pools``       0 .. max_dedicated_pools
+    * ``dedicated_pool_kind``       fixed | slab
+    * ``dedicated_pool_placement``  scratchpad | main
+    * ``general_free_list``         lifo | fifo | address_ordered | size_ordered
+    * ``general_fit``               first_fit | next_fit | best_fit | worst_fit | exact_fit
+    * ``general_coalescing``        never | immediate | deferred
+    * ``general_splitting``         never | always | threshold
+    * ``chunk_size``                2 KB | 8 KB | 32 KB
+
+    With ``max_dedicated_pools = 5`` this is 6·2·2·4·5·3·3·3 = 19 440
+    configurations — the "tens of thousands of highly customized DM
+    allocators" scale of the paper.
+    """
+    if max_dedicated_pools < 0:
+        raise ValueError("max_dedicated_pools must be non-negative")
+    space = ParameterSpace()
+    space.add_array(
+        "num_dedicated_pools",
+        list(range(max_dedicated_pools + 1)),
+        "how many hot block sizes receive a dedicated pool",
+    )
+    space.add_array("dedicated_pool_kind", ["fixed", "slab"], "dedicated pool type")
+    space.add_array(
+        "dedicated_pool_placement",
+        ["scratchpad", "main"],
+        "memory level of the dedicated pools",
+    )
+    space.add_array("general_free_list", free_list_policy_names(), "general pool free-list order")
+    space.add_array("general_fit", fit_policy_names(), "general pool fit policy")
+    space.add_array("general_coalescing", coalescing_policy_names(), "general pool coalescing")
+    space.add_array("general_splitting", splitting_policy_names(), "general pool splitting")
+    space.add_array("chunk_size", [2048, 8192, 32768], "general pool growth chunk")
+    return space
+
+
+def compact_parameter_space(max_dedicated_pools: int = 5) -> ParameterSpace:
+    """A reduced space (a few hundred points) for examples, tests and CI runs.
+
+    Keeps one representative value per "policy family" so the qualitative
+    trade-offs of the full space survive while exploration finishes in
+    seconds.
+    """
+    dedicated_counts = sorted({0, 2, min(4, max_dedicated_pools), max_dedicated_pools})
+    space = ParameterSpace()
+    space.add_array("num_dedicated_pools", dedicated_counts)
+    space.add_array("dedicated_pool_kind", ["fixed"])
+    space.add_array("dedicated_pool_placement", ["scratchpad", "main"])
+    space.add_array("general_free_list", ["lifo", "address_ordered"])
+    space.add_array("general_fit", ["first_fit", "best_fit"])
+    space.add_array("general_coalescing", ["never", "immediate"])
+    space.add_array("general_splitting", ["never", "always"])
+    space.add_array("chunk_size", [4096])
+    return space
+
+
+def smoke_parameter_space() -> ParameterSpace:
+    """A tiny space (a dozen points) for unit tests and the quickstart example."""
+    space = ParameterSpace()
+    space.add_array("num_dedicated_pools", [0, 3])
+    space.add_array("dedicated_pool_kind", ["fixed"])
+    space.add_array("dedicated_pool_placement", ["scratchpad"])
+    space.add_array("general_free_list", ["lifo", "address_ordered"])
+    space.add_array("general_fit", ["first_fit"])
+    space.add_array("general_coalescing", ["never", "immediate"])
+    space.add_array("general_splitting", ["always"])
+    space.add_array("chunk_size", [4096])
+    return space
+
+
+def easyport_parameter_space() -> ParameterSpace:
+    """The space explored for the Easyport case study (paper §3, first study).
+
+    Easyport's hot sizes are few and very dominant, so the interesting axis
+    is how many of them get dedicated pools and where those pools live; the
+    general-pool policies govern the remaining irregular allocations.
+    """
+    return default_parameter_space(max_dedicated_pools=5)
+
+
+def vtc_parameter_space() -> ParameterSpace:
+    """The space explored for the MPEG-4 VTC case study (paper §3, second study).
+
+    VTC has essentially two hot sizes (tree nodes and bitstream segments), so
+    the dedicated-pool axis is shorter, keeping the space comparable in
+    spirit but smaller.
+    """
+    return default_parameter_space(max_dedicated_pools=2)

@@ -1,0 +1,173 @@
+"""Trade-off analysis: the numbers the paper reports.
+
+Section 3 of the paper summarises each case study with a handful of derived
+figures:
+
+* the *range* of each metric across **all** configurations
+  ("a range in the total memory footprint of a factor 11 and for the memory
+  accesses of a factor 54"),
+* the number of Pareto-optimal configurations ("15 Pareto-optimal
+  configurations"),
+* the improvement factors / percentage decreases **within** the
+  Pareto-optimal set ("decrease ... up to a factor of 2.9 ... up to a
+  factor of 4.1 ... energy up to 71.74% ... execution time up to 27.92%").
+
+:class:`TradeoffAnalysis` computes exactly those figures from a
+:class:`ResultDatabase`, so benchmarks and EXPERIMENTS.md can quote
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiling.metrics import improvement_factor, metric_keys, percent_decrease
+from .results import ExplorationRecord, ResultDatabase
+
+
+@dataclass
+class MetricTradeoff:
+    """Range and within-Pareto gain for one metric."""
+
+    metric: str
+    overall_min: float
+    overall_max: float
+    pareto_min: float
+    pareto_max: float
+
+    @property
+    def overall_range_factor(self) -> float:
+        """max/min across all configurations (the paper's "factor 11 / 54")."""
+        return improvement_factor(self.overall_max, self.overall_min)
+
+    @property
+    def pareto_gain_factor(self) -> float:
+        """max/min within the Pareto set (the paper's "factor 2.9 / 4.1")."""
+        return improvement_factor(self.pareto_max, self.pareto_min)
+
+    @property
+    def pareto_gain_percent(self) -> float:
+        """Percentage decrease within the Pareto set (the paper's 71.74%...)."""
+        return percent_decrease(self.pareto_max, self.pareto_min)
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "overall_min": self.overall_min,
+            "overall_max": self.overall_max,
+            "overall_range_factor": self.overall_range_factor,
+            "pareto_min": self.pareto_min,
+            "pareto_max": self.pareto_max,
+            "pareto_gain_factor": self.pareto_gain_factor,
+            "pareto_gain_percent": self.pareto_gain_percent,
+        }
+
+
+@dataclass
+class TradeoffSummary:
+    """All per-metric trade-offs plus the Pareto-front size."""
+
+    trace_name: str
+    total_configurations: int
+    pareto_count: int
+    metrics: dict[str, MetricTradeoff] = field(default_factory=dict)
+
+    def metric(self, key: str) -> MetricTradeoff:
+        return self.metrics[key]
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_name": self.trace_name,
+            "total_configurations": self.total_configurations,
+            "pareto_count": self.pareto_count,
+            "metrics": {key: value.as_dict() for key, value in self.metrics.items()},
+        }
+
+
+class TradeoffAnalysis:
+    """Computes paper-style summary figures from an exploration database."""
+
+    def __init__(
+        self,
+        database: ResultDatabase,
+        pareto_metrics: list[str] | None = None,
+    ) -> None:
+        if len(database) == 0:
+            raise ValueError("cannot analyse an empty result database")
+        if not database.feasible_records():
+            raise ValueError(
+                "cannot analyse a database with no feasible configurations"
+            )
+        self.database = database
+        self.pareto_metrics = pareto_metrics or metric_keys()
+        self._pareto = database.pareto_records(self.pareto_metrics)
+
+    @property
+    def pareto_records(self) -> list[ExplorationRecord]:
+        return list(self._pareto)
+
+    @property
+    def pareto_count(self) -> int:
+        return len(self._pareto)
+
+    def metric_tradeoff(self, metric: str) -> MetricTradeoff:
+        """Range across all configurations and gain within the Pareto set."""
+        overall_min, overall_max = self.database.metric_range(metric)
+        pareto_values = [record.metrics.value(metric) for record in self._pareto]
+        return MetricTradeoff(
+            metric=metric,
+            overall_min=overall_min,
+            overall_max=overall_max,
+            pareto_min=min(pareto_values),
+            pareto_max=max(pareto_values),
+        )
+
+    def summary(self, metrics: list[str] | None = None) -> TradeoffSummary:
+        keys = metrics or metric_keys()
+        trace_name = self.database[0].trace_name if len(self.database) else ""
+        summary = TradeoffSummary(
+            trace_name=trace_name,
+            total_configurations=len(self.database.feasible_records()),
+            pareto_count=self.pareto_count,
+        )
+        for key in keys:
+            summary.metrics[key] = self.metric_tradeoff(key)
+        return summary
+
+    def best_configuration(self, metric: str) -> ExplorationRecord:
+        """The Pareto record minimising ``metric``."""
+        return min(self._pareto, key=lambda record: record.metrics.value(metric))
+
+    def worst_pareto_configuration(self, metric: str) -> ExplorationRecord:
+        """The Pareto record maximising ``metric`` (the other end of the curve)."""
+        return max(self._pareto, key=lambda record: record.metrics.value(metric))
+
+    def paper_style_report(self) -> str:
+        """Render the figures of paper §3 for this exploration."""
+        summary = self.summary()
+        lines = [
+            f"Exploration of '{summary.trace_name}': "
+            f"{summary.total_configurations} configurations, "
+            f"{summary.pareto_count} Pareto-optimal",
+        ]
+        for key, tradeoff in summary.metrics.items():
+            lines.append(
+                f"  {key}: overall range x{tradeoff.overall_range_factor:.1f}, "
+                f"within Pareto set x{tradeoff.pareto_gain_factor:.2f} "
+                f"({tradeoff.pareto_gain_percent:.2f}% decrease)"
+            )
+        return "\n".join(lines)
+
+
+def compare_against_baseline(
+    database: ResultDatabase,
+    baseline_metrics,
+    metric: str,
+) -> float:
+    """Improvement factor of the best explored configuration vs a baseline run.
+
+    ``baseline_metrics`` is the :class:`MetricSet` measured for an OS-style
+    allocator on the same trace.
+    """
+    best = database.best_by(metric)
+    return improvement_factor(baseline_metrics.value(metric), best.metrics.value(metric))

@@ -1,0 +1,26 @@
+"""Output front-end: ASCII plots, CSV (Excel) export, gnuplot export, dashboard."""
+
+from .ascii_plots import histogram, pareto_plot, scatter_plot
+from .excel import (
+    export_all_configurations,
+    export_pareto_configurations,
+    export_tradeoff_summary,
+    export_workbook,
+)
+from .gnuplot import export_gnuplot, write_gnuplot_data, write_gnuplot_script
+from .report import dashboard, export_artifacts
+
+__all__ = [
+    "dashboard",
+    "export_all_configurations",
+    "export_artifacts",
+    "export_gnuplot",
+    "export_pareto_configurations",
+    "export_tradeoff_summary",
+    "export_workbook",
+    "histogram",
+    "pareto_plot",
+    "scatter_plot",
+    "write_gnuplot_data",
+    "write_gnuplot_script",
+]

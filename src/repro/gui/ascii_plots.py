@@ -1,0 +1,123 @@
+"""ASCII scatter / Pareto-curve plots.
+
+The paper's tool has a GUI that plots the Pareto-optimal curves of the
+chosen metrics.  In a terminal-only environment this module renders the same
+plots as character grids: all explored configurations as dots, the
+Pareto-optimal ones as stars, with axis ranges annotated.  The plots are
+intentionally simple — their job is to make the shape of the trade-off
+visible in a CI log or a README, not to be pretty.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.pareto import non_dominated
+
+#: Characters used for plot points.
+POINT_CHAR = "."
+FRONT_CHAR = "*"
+EMPTY_CHAR = " "
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    """Map ``value`` in [low, high] to a grid index in [0, steps-1]."""
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    index = int(round(position * (steps - 1)))
+    return max(0, min(steps - 1, index))
+
+
+def scatter_plot(
+    points: Sequence[tuple[float, float]],
+    width: int = 70,
+    height: int = 22,
+    x_label: str = "x",
+    y_label: str = "y",
+    highlight: Sequence[tuple[float, float]] | None = None,
+    title: str = "",
+) -> str:
+    """Render a 2-D scatter plot; ``highlight`` points are drawn with ``*``.
+
+    The y axis grows upwards (smaller values at the bottom), so for
+    minimisation metrics the interesting corner is bottom-left, as in the
+    paper's figures.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("plot area too small (need at least 10x5)")
+    if not points:
+        return "(no points to plot)"
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[EMPTY_CHAR] * width for _ in range(height)]
+
+    def place(x: float, y: float, char: str) -> None:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        grid[row][column] = char
+
+    for x, y in points:
+        place(x, y, POINT_CHAR)
+    for x, y in highlight or []:
+        place(x, y, FRONT_CHAR)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (up: {y_high:.3g}, down: {y_low:.3g})")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label}: {x_low:.3g} (left) .. {x_high:.3g} (right)")
+    legend = f"legend: '{POINT_CHAR}' explored configuration"
+    if highlight:
+        legend += f", '{FRONT_CHAR}' Pareto-optimal"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def pareto_plot(
+    points: Sequence[tuple[float, float]],
+    width: int = 70,
+    height: int = 22,
+    x_label: str = "memory accesses",
+    y_label: str = "memory footprint",
+    title: str = "Pareto-optimal configurations",
+) -> str:
+    """Scatter plot with the non-dominated points highlighted automatically."""
+    if not points:
+        return "(no points to plot)"
+    front_indices = set(non_dominated([tuple(point) for point in points]))
+    highlight = [point for index, point in enumerate(points) if index in front_indices]
+    return scatter_plot(
+        points,
+        width=width,
+        height=height,
+        x_label=x_label,
+        y_label=y_label,
+        highlight=highlight,
+        title=title,
+    )
+
+
+def histogram(
+    counts: dict[int, int],
+    width: int = 50,
+    max_rows: int = 12,
+    label: str = "size",
+) -> str:
+    """Horizontal bar chart of a size histogram (used for workload reports)."""
+    if not counts:
+        return "(empty histogram)"
+    items = sorted(counts.items(), key=lambda item: -item[1])[:max_rows]
+    peak = max(count for _value, count in items)
+    lines = [f"{label:>10} | count"]
+    for value, count in items:
+        bar_length = int(round(width * count / peak)) if peak else 0
+        lines.append(f"{value:>10} | {'#' * bar_length} {count}")
+    return "\n".join(lines)

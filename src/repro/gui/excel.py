@@ -1,0 +1,82 @@
+"""CSV (Excel-importable) export of exploration results.
+
+Thin wrappers over :meth:`ResultDatabase.to_csv` that additionally export a
+Pareto-only sheet and a per-parameter summary sheet, matching what a
+designer would paste into a spreadsheet to argue for a configuration.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..core.results import ResultDatabase
+from ..core.tradeoff import TradeoffAnalysis
+from ..profiling.metrics import metric_keys
+
+
+def export_all_configurations(
+    database: ResultDatabase, path: str | Path, metrics: list[str] | None = None
+) -> int:
+    """Write every explored configuration to ``path`` (CSV); returns row count."""
+    return database.to_csv(path, metrics=metrics)
+
+
+def export_pareto_configurations(
+    database: ResultDatabase, path: str | Path, metrics: list[str] | None = None
+) -> int:
+    """Write only the Pareto-optimal configurations to ``path`` (CSV)."""
+    keys = metrics or metric_keys()
+    records = database.pareto_records(keys)
+    if not records:
+        Path(path).write_text("", encoding="utf-8")
+        return 0
+    fieldnames = ["configuration_id"]
+    fieldnames += sorted({f"param_{k}" for record in records for k in record.parameters})
+    fieldnames += keys
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for record in records:
+            row = {"configuration_id": record.configuration_id}
+            row.update({f"param_{k}": v for k, v in record.parameters.items()})
+            for key in keys:
+                row[key] = record.metrics.value(key)
+            writer.writerow(row)
+    return len(records)
+
+
+def export_tradeoff_summary(
+    database: ResultDatabase, path: str | Path, metrics: list[str] | None = None
+) -> int:
+    """Write the per-metric range / Pareto-gain table (CSV); returns row count."""
+    keys = metrics or metric_keys()
+    analysis = TradeoffAnalysis(database, pareto_metrics=keys)
+    rows = [analysis.metric_tradeoff(key).as_dict() for key in keys]
+    fieldnames = list(rows[0].keys()) if rows else []
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def export_workbook(
+    database: ResultDatabase,
+    directory: str | Path,
+    basename: str = "exploration",
+    metrics: list[str] | None = None,
+) -> dict[str, Path]:
+    """Write the three CSV "sheets" into ``directory``; returns their paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "all": directory / f"{basename}_all.csv",
+        "pareto": directory / f"{basename}_pareto.csv",
+        "tradeoff": directory / f"{basename}_tradeoff.csv",
+    }
+    export_all_configurations(database, paths["all"], metrics)
+    export_pareto_configurations(database, paths["pareto"], metrics)
+    export_tradeoff_summary(database, paths["tradeoff"], metrics)
+    return paths

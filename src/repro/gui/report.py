@@ -1,0 +1,58 @@
+"""Aggregated textual "dashboard" combining report, plot and export paths.
+
+This is the closest terminal equivalent of the paper's GUI front page: the
+trade-off table, the ASCII Pareto plot of a chosen metric pair and pointers
+to the exported CSV / gnuplot artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.reporting import exploration_report
+from ..core.results import ResultDatabase
+from ..profiling.metrics import metric_keys, metric_spec
+from .ascii_plots import pareto_plot
+from .excel import export_workbook
+from .gnuplot import export_gnuplot
+
+
+def dashboard(
+    database: ResultDatabase,
+    x_metric: str = "accesses",
+    y_metric: str = "footprint",
+    title: str = "",
+    plot_width: int = 70,
+    plot_height: int = 20,
+) -> str:
+    """Render the full textual dashboard for one exploration."""
+    points = [
+        (record.metrics.value(x_metric), record.metrics.value(y_metric))
+        for record in database
+    ]
+    plot = pareto_plot(
+        points,
+        width=plot_width,
+        height=plot_height,
+        x_label=metric_spec(x_metric).label,
+        y_label=metric_spec(y_metric).label,
+        title=f"{metric_spec(y_metric).label} vs {metric_spec(x_metric).label}",
+    )
+    report = exploration_report(database, title=title or database.name)
+    return report + "\n\n" + plot
+
+
+def export_artifacts(
+    database: ResultDatabase,
+    directory: str | Path,
+    basename: str = "exploration",
+    metrics: list[str] | None = None,
+) -> dict[str, Path]:
+    """Export every file artefact (CSV sheets + gnuplot files) to ``directory``."""
+    directory = Path(directory)
+    keys = metrics or metric_keys()
+    paths = dict(export_workbook(database, directory, basename=basename, metrics=keys))
+    data_path, script_path = export_gnuplot(database, directory, basename=basename, metrics=keys)
+    paths["gnuplot_data"] = data_path
+    paths["gnuplot_script"] = script_path
+    return paths

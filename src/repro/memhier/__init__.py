@@ -1,0 +1,53 @@
+"""Memory-hierarchy substrate: modules, hierarchy, pool mapping, energy model."""
+
+from .access import (
+    AccessBreakdown,
+    LevelAccesses,
+    breakdown_accesses,
+    footprint_by_level,
+)
+from .energy import (
+    DEFAULT_CPU_ENERGY_NJ_PER_OP,
+    DEFAULT_CPU_OVERHEAD_CYCLES,
+    DEFAULT_STATIC_NJ_PER_BYTE,
+    EnergyModel,
+)
+from .hierarchy import (
+    MemoryHierarchy,
+    embedded_three_level,
+    embedded_two_level,
+    flat_main_memory,
+)
+from .mapping import MappedPools, PoolMapping, PoolPlacement
+from .module import (
+    TECHNOLOGY_PRESETS,
+    MemoryModule,
+    main_memory,
+    module_from_preset,
+    onchip_sram,
+    scratchpad,
+)
+
+__all__ = [
+    "AccessBreakdown",
+    "DEFAULT_CPU_ENERGY_NJ_PER_OP",
+    "DEFAULT_CPU_OVERHEAD_CYCLES",
+    "DEFAULT_STATIC_NJ_PER_BYTE",
+    "EnergyModel",
+    "LevelAccesses",
+    "MappedPools",
+    "MemoryHierarchy",
+    "MemoryModule",
+    "PoolMapping",
+    "PoolPlacement",
+    "TECHNOLOGY_PRESETS",
+    "breakdown_accesses",
+    "embedded_three_level",
+    "embedded_two_level",
+    "flat_main_memory",
+    "footprint_by_level",
+    "main_memory",
+    "module_from_preset",
+    "onchip_sram",
+    "scratchpad",
+]

@@ -1,0 +1,134 @@
+"""Memory hierarchy: an ordered collection of memory modules.
+
+The hierarchy is purely declarative — a named list of modules from fastest
+and smallest to slowest and largest.  Pools are attached to modules through
+:class:`repro.memhier.mapping.PoolMapping`; the hierarchy only answers
+"which modules exist, in what order, with how much room".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from .module import MemoryModule, main_memory, onchip_sram, scratchpad
+
+
+class MemoryHierarchy:
+    """Ordered set of memory modules (fastest first).
+
+    Parameters
+    ----------
+    modules:
+        Modules ordered from the closest/fastest level to the farthest.
+        Names must be unique.
+    name:
+        Label used in reports ("embedded_2level", "easyport_platform"...).
+    """
+
+    def __init__(self, modules: Iterable[MemoryModule], name: str = "hierarchy") -> None:
+        self.modules = list(modules)
+        if not self.modules:
+            raise ValueError("a memory hierarchy needs at least one module")
+        names = [module.name for module in self.modules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate memory module names: {names}")
+        self.name = name
+        self._by_name = {module.name: module for module in self.modules}
+
+    def __iter__(self) -> Iterator[MemoryModule]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def module(self, name: str) -> MemoryModule:
+        """Return the module called ``name`` (raises KeyError when missing)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            valid = ", ".join(self._by_name)
+            raise KeyError(
+                f"no memory module named '{name}' in hierarchy '{self.name}' "
+                f"(available: {valid})"
+            ) from None
+
+    def module_names(self) -> list[str]:
+        """Module names in hierarchy order (fastest first)."""
+        return [module.name for module in self.modules]
+
+    @property
+    def fastest(self) -> MemoryModule:
+        return self.modules[0]
+
+    @property
+    def slowest(self) -> MemoryModule:
+        return self.modules[-1]
+
+    @property
+    def background_module(self) -> MemoryModule:
+        """The module unmapped pools default to (largest / last level)."""
+        return self.modules[-1]
+
+    def total_capacity(self) -> int | None:
+        """Sum of bounded module sizes; ``None`` when any level is unbounded."""
+        total = 0
+        for module in self.modules:
+            if module.size is None:
+                return None
+            total += module.size
+        return total
+
+    def describe(self) -> str:
+        lines = [f"Memory hierarchy '{self.name}':"]
+        for level, module in enumerate(self.modules):
+            lines.append(f"  L{level}: {module.describe()}")
+        return "\n".join(lines)
+
+
+def embedded_two_level(
+    scratchpad_size: int = 64 * 1024,
+    main_size: int | None = 4 * 1024 * 1024,
+    name: str = "embedded_2level",
+) -> MemoryHierarchy:
+    """The platform of the paper's running example.
+
+    A 64 KB L1 scratchpad plus a 4 MB main memory — the hierarchy the paper
+    uses to illustrate pool mapping ("a dedicated pool for 74-byte blocks
+    onto the L1 64 KB scratchpad ... a general pool ... in the 4 MB main
+    memory").
+    """
+    return MemoryHierarchy(
+        [scratchpad(size=scratchpad_size), main_memory(size=main_size)],
+        name=name,
+    )
+
+
+def embedded_three_level(
+    scratchpad_size: int = 64 * 1024,
+    sram_size: int = 512 * 1024,
+    main_size: int | None = 8 * 1024 * 1024,
+    name: str = "embedded_3level",
+) -> MemoryHierarchy:
+    """A richer platform: scratchpad + on-chip SRAM + off-chip main memory."""
+    return MemoryHierarchy(
+        [
+            scratchpad(size=scratchpad_size),
+            onchip_sram(size=sram_size),
+            main_memory(size=main_size),
+        ],
+        name=name,
+    )
+
+
+def flat_main_memory(
+    main_size: int | None = None, name: str = "flat_main_memory"
+) -> MemoryHierarchy:
+    """Single-level hierarchy: everything in main memory.
+
+    This is the platform view of the OS-based baseline allocators, which do
+    not exploit any on-chip memory.
+    """
+    return MemoryHierarchy([main_memory(size=main_size)], name=name)

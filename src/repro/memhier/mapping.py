@@ -1,0 +1,172 @@
+"""Pool-to-memory-module mapping.
+
+The second input of the DATE'06 tool (besides the parameter arrays) is the
+memory hierarchy description and the decision of *where each pool lives*.
+:class:`PoolMapping` records that decision, validates it against module
+capacities, and hands each pool a bounded :class:`PoolAddressSpace` carved
+out of its module, so that a scratchpad-mapped pool physically cannot grow
+beyond the scratchpad and spills to the fallback pool instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..allocator.errors import PoolCapacityError
+from ..allocator.heap import AddressSpaceAllocator, PoolAddressSpace
+from .hierarchy import MemoryHierarchy
+from .module import MemoryModule
+
+#: Address stride separating memory modules in the global simulated address
+#: space (1 PiB apart — far larger than any module capacity, so pools on
+#: different modules can never produce colliding block addresses).
+MODULE_ADDRESS_STRIDE = 1 << 50
+
+
+@dataclass
+class PoolPlacement:
+    """One pool's placement in the hierarchy.
+
+    ``reserved_bytes`` of ``None`` means "whatever is left of the module"
+    (typical for the general fallback pool in main memory).
+    """
+
+    pool_name: str
+    module_name: str
+    reserved_bytes: int | None = None
+
+
+class PoolMapping:
+    """Validated assignment of pools to memory modules.
+
+    Parameters
+    ----------
+    hierarchy:
+        The platform's memory hierarchy.
+    placements:
+        One :class:`PoolPlacement` per pool.  Pools not mentioned default to
+        the hierarchy's background (last-level) module.
+    """
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        placements: list[PoolPlacement] | None = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.placements: dict[str, PoolPlacement] = {}
+        # Every module gets a disjoint slice of the global simulated address
+        # space so that block addresses are unique across the whole platform
+        # (the composed allocator routes frees by address).
+        self._carvers: dict[str, AddressSpaceAllocator] = {
+            module.name: AddressSpaceAllocator(
+                module.size, base_offset=index * MODULE_ADDRESS_STRIDE
+            )
+            for index, module in enumerate(hierarchy)
+        }
+        for placement in placements or []:
+            self.place(placement)
+
+    def place(self, placement: PoolPlacement) -> None:
+        """Register a placement (validates module existence and capacity)."""
+        if placement.pool_name in self.placements:
+            raise ValueError(f"pool '{placement.pool_name}' is already placed")
+        module = self.hierarchy.module(placement.module_name)
+        if (
+            placement.reserved_bytes is not None
+            and module.size is not None
+            and placement.reserved_bytes > module.size
+        ):
+            raise PoolCapacityError(
+                placement.pool_name,
+                placement.reserved_bytes,
+                module.name,
+                module.size,
+            )
+        self.placements[placement.pool_name] = placement
+
+    def place_pool(
+        self, pool_name: str, module_name: str, reserved_bytes: int | None = None
+    ) -> None:
+        """Convenience wrapper around :meth:`place`."""
+        self.place(PoolPlacement(pool_name, module_name, reserved_bytes))
+
+    def module_of(self, pool_name: str) -> MemoryModule:
+        """Memory module backing ``pool_name`` (background module if unplaced)."""
+        placement = self.placements.get(pool_name)
+        if placement is None:
+            return self.hierarchy.background_module
+        return self.hierarchy.module(placement.module_name)
+
+    def address_space_for(self, pool_name: str) -> PoolAddressSpace:
+        """Create the bounded address space for ``pool_name``.
+
+        The space's capacity comes from the placement's reservation (or the
+        module's remaining room) so that a scratchpad pool cannot silently
+        outgrow the scratchpad.
+        """
+        placement = self.placements.get(pool_name)
+        if placement is None:
+            module = self.hierarchy.background_module
+            placement = PoolPlacement(pool_name, module.name, None)
+        carver = self._carvers[placement.module_name]
+        try:
+            base, capacity = carver.reserve(pool_name, placement.reserved_bytes)
+        except Exception as exc:
+            module = self.hierarchy.module(placement.module_name)
+            raise PoolCapacityError(
+                pool_name,
+                placement.reserved_bytes or 0,
+                module.name,
+                carver.remaining() or 0,
+            ) from exc
+        return PoolAddressSpace(base=base, capacity=capacity, name=pool_name)
+
+    def pools_on(self, module_name: str) -> list[str]:
+        """Names of pools placed on ``module_name``."""
+        return [
+            name
+            for name, placement in self.placements.items()
+            if placement.module_name == module_name
+        ]
+
+    def validate_reservations(self) -> None:
+        """Check that explicit reservations fit in each bounded module."""
+        per_module: dict[str, int] = {}
+        for placement in self.placements.values():
+            if placement.reserved_bytes is None:
+                continue
+            per_module.setdefault(placement.module_name, 0)
+            per_module[placement.module_name] += placement.reserved_bytes
+        for module_name, total in per_module.items():
+            module = self.hierarchy.module(module_name)
+            if module.size is not None and total > module.size:
+                raise PoolCapacityError(
+                    f"(all pools on {module_name})", total, module_name, module.size
+                )
+
+    def describe(self) -> str:
+        lines = [f"Pool mapping over hierarchy '{self.hierarchy.name}':"]
+        for name, placement in sorted(self.placements.items()):
+            reserved = (
+                "remaining space"
+                if placement.reserved_bytes is None
+                else f"{placement.reserved_bytes} B"
+            )
+            lines.append(f"  {name} -> {placement.module_name} ({reserved})")
+        if not self.placements:
+            lines.append("  (all pools default to the background module)")
+        return "\n".join(lines)
+
+
+@dataclass
+class MappedPools:
+    """Result of binding pools to a mapping: ready-to-use address spaces."""
+
+    mapping: PoolMapping
+    spaces: dict[str, PoolAddressSpace] = field(default_factory=dict)
+
+    def space_for(self, pool_name: str) -> PoolAddressSpace:
+        if pool_name not in self.spaces:
+            self.spaces[pool_name] = self.mapping.address_space_for(pool_name)
+        return self.spaces[pool_name]

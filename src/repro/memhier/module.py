@@ -1,0 +1,144 @@
+"""Memory modules: the physical memories pools can be mapped onto.
+
+A :class:`MemoryModule` models one addressable memory in the platform's
+hierarchy — an L1 scratchpad, an on-chip SRAM, an off-chip SDRAM — with the
+three properties the exploration needs:
+
+* capacity (bytes), which bounds the pools mapped onto it,
+* energy per access (nJ), used for the energy metric,
+* access latency (cycles), used for the execution-time metric.
+
+The numeric presets in :data:`TECHNOLOGY_PRESETS` are CACTI-like orders of
+magnitude for a ~130 nm embedded platform of the paper's era; absolute
+values do not matter for the reproduction (only ratios between levels do),
+and they can be overridden per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MemoryModule:
+    """One level of the memory hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier used by pool mappings ("l1_scratchpad", "sdram"...).
+    size:
+        Capacity in bytes; ``None`` models a practically unbounded main
+        memory.
+    read_energy_nj / write_energy_nj:
+        Energy per read / write access in nanojoules.
+    latency_cycles:
+        Access latency in processor cycles.
+    kind:
+        Informal technology label ("scratchpad", "sram", "dram"), used only
+        for reporting.
+    """
+
+    name: str
+    size: int | None
+    read_energy_nj: float
+    write_energy_nj: float
+    latency_cycles: int
+    kind: str = "sram"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("memory module name must be non-empty")
+        if self.size is not None and self.size <= 0:
+            raise ValueError(f"memory module size must be positive, got {self.size}")
+        if self.read_energy_nj < 0 or self.write_energy_nj < 0:
+            raise ValueError("per-access energy must be non-negative")
+        if self.latency_cycles <= 0:
+            raise ValueError(f"latency must be positive, got {self.latency_cycles}")
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.size is not None
+
+    def energy_for(self, reads: int, writes: int) -> float:
+        """Energy in nJ for the given access counts."""
+        if reads < 0 or writes < 0:
+            raise ValueError("access counts must be non-negative")
+        return reads * self.read_energy_nj + writes * self.write_energy_nj
+
+    def cycles_for(self, accesses: int) -> int:
+        """Cycles spent on ``accesses`` accesses to this module."""
+        if accesses < 0:
+            raise ValueError("access count must be non-negative")
+        return accesses * self.latency_cycles
+
+    def describe(self) -> str:
+        size = "unbounded" if self.size is None else f"{self.size} B"
+        return (
+            f"{self.name} ({self.kind}, {size}, "
+            f"R {self.read_energy_nj} nJ / W {self.write_energy_nj} nJ, "
+            f"{self.latency_cycles} cycles)"
+        )
+
+
+def scratchpad(name: str = "l1_scratchpad", size: int = 64 * 1024) -> MemoryModule:
+    """Small, fast, low-energy on-chip scratchpad (the paper's L1 64 KB)."""
+    return MemoryModule(
+        name=name,
+        size=size,
+        read_energy_nj=0.05,
+        write_energy_nj=0.06,
+        latency_cycles=1,
+        kind="scratchpad",
+    )
+
+
+def onchip_sram(name: str = "l2_sram", size: int = 512 * 1024) -> MemoryModule:
+    """Mid-size on-chip SRAM (L2-style)."""
+    return MemoryModule(
+        name=name,
+        size=size,
+        read_energy_nj=0.25,
+        write_energy_nj=0.30,
+        latency_cycles=4,
+        kind="sram",
+    )
+
+
+def main_memory(name: str = "main_memory", size: int | None = 4 * 1024 * 1024) -> MemoryModule:
+    """Off-chip main memory (the paper's 4 MB main memory)."""
+    return MemoryModule(
+        name=name,
+        size=size,
+        read_energy_nj=1.8,
+        write_energy_nj=2.1,
+        latency_cycles=20,
+        kind="dram",
+    )
+
+
+#: Named technology presets used by examples and benchmarks.
+TECHNOLOGY_PRESETS: dict[str, dict[str, float]] = {
+    "scratchpad": {"read_nj": 0.05, "write_nj": 0.06, "latency": 1},
+    "sram": {"read_nj": 0.25, "write_nj": 0.30, "latency": 4},
+    "dram": {"read_nj": 1.8, "write_nj": 2.1, "latency": 20},
+}
+
+
+def module_from_preset(
+    name: str, preset: str, size: int | None
+) -> MemoryModule:
+    """Build a module from a :data:`TECHNOLOGY_PRESETS` entry."""
+    try:
+        values = TECHNOLOGY_PRESETS[preset]
+    except KeyError:
+        valid = ", ".join(sorted(TECHNOLOGY_PRESETS))
+        raise ValueError(f"unknown technology preset '{preset}' (valid: {valid})") from None
+    return MemoryModule(
+        name=name,
+        size=size,
+        read_energy_nj=values["read_nj"],
+        write_energy_nj=values["write_nj"],
+        latency_cycles=int(values["latency"]),
+        kind=preset,
+    )

@@ -1,0 +1,78 @@
+"""Allocation-trace events.
+
+A *trace* is the sequence of dynamic-memory operations the application
+performs: each event is either an allocation (with a payload size) or a
+free (referring back to the allocation it releases by its request id).
+Traces are the only application input the exploration needs — the paper's
+tool links the real application against instrumented allocators; the
+reproduction replays recorded/synthesised traces through simulated ones,
+which exercises exactly the same allocator code paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """Type of a trace event."""
+
+    ALLOC = "alloc"
+    FREE = "free"
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """One dynamic-memory operation in an application trace.
+
+    Attributes
+    ----------
+    kind:
+        ``ALLOC`` or ``FREE``.
+    request_id:
+        Identifier linking a FREE back to the ALLOC it releases.  Every
+        ALLOC introduces a fresh id; the matching FREE repeats it.
+    size:
+        Payload bytes requested (ALLOC only; zero for FREE events).
+    timestamp:
+        Logical time of the event in abstract "application ticks"; only the
+        order matters to the allocator, but phases/bursts are visible here.
+    tag:
+        Optional free-form label ("packet_rx", "wavelet_node"...) used by
+        reports to attribute allocations to application data structures.
+    """
+
+    kind: EventKind
+    request_id: int
+    size: int = 0
+    timestamp: int = 0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.request_id < 0:
+            raise ValueError(f"request_id must be non-negative, got {self.request_id}")
+        if self.kind is EventKind.ALLOC and self.size <= 0:
+            raise ValueError(f"ALLOC events need a positive size, got {self.size}")
+        if self.kind is EventKind.FREE and self.size != 0:
+            raise ValueError("FREE events must not carry a size")
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+
+    @property
+    def is_alloc(self) -> bool:
+        return self.kind is EventKind.ALLOC
+
+    @property
+    def is_free(self) -> bool:
+        return self.kind is EventKind.FREE
+
+
+def alloc(request_id: int, size: int, timestamp: int = 0, tag: str = "") -> AllocationEvent:
+    """Convenience constructor for an ALLOC event."""
+    return AllocationEvent(EventKind.ALLOC, request_id, size, timestamp, tag)
+
+
+def free(request_id: int, timestamp: int = 0, tag: str = "") -> AllocationEvent:
+    """Convenience constructor for a FREE event."""
+    return AllocationEvent(EventKind.FREE, request_id, 0, timestamp, tag)

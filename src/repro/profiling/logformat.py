@@ -1,0 +1,160 @@
+"""Profiling log format (writer).
+
+The paper's profiling step emits raw text logs that "can reach Gigabytes for
+one single configuration" and are then parsed (in under 20 seconds) by a
+Perl/O'Caml back-end.  This module is the writer half of that pipeline: it
+serialises :class:`ProfileResult` objects — and optionally full per-event
+records — into a simple line-oriented text format that
+:mod:`repro.profiling.parser` reads back.
+
+Format (one record per line, ``|``-separated fields):
+
+``R|<config_id>|<trace>|<accesses>|<footprint>|<energy_nj>|<cycles>``
+    Result summary line for one configuration.
+``L|<config_id>|<module>|<reads>|<writes>|<footprint>|<energy_nj>``
+    Per-memory-level breakdown line.
+``P|<config_id>|<pool>|<module>|<accesses>|<peak_footprint>``
+    Per-pool breakdown line.
+``E|<config_id>|<op_index>|<kind>|<size>``
+    Optional raw event echo used to blow the logs up to realistic sizes for
+    the parsing-speed experiment.
+``#``-prefixed lines are comments and are ignored by the parser.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+from .metrics import ProfileResult
+from .tracer import AllocationTrace
+
+RESULT_PREFIX = "R"
+LEVEL_PREFIX = "L"
+POOL_PREFIX = "P"
+EVENT_PREFIX = "E"
+COMMENT_PREFIX = "#"
+
+
+def format_result_line(result: ProfileResult) -> str:
+    """Serialise the summary metrics of one profiling run."""
+    totals = result.totals
+    return (
+        f"{RESULT_PREFIX}|{result.configuration_id}|{result.trace_name}|"
+        f"{totals.accesses}|{totals.footprint}|{totals.energy_nj:.6f}|{totals.cycles}"
+    )
+
+
+def format_level_lines(result: ProfileResult) -> list[str]:
+    """Serialise the per-memory-level breakdown of one profiling run."""
+    lines = []
+    for level in result.per_level.values():
+        lines.append(
+            f"{LEVEL_PREFIX}|{result.configuration_id}|{level.module_name}|"
+            f"{level.reads}|{level.writes}|{level.footprint}|{level.energy_nj:.6f}"
+        )
+    return lines
+
+
+def format_pool_lines(result: ProfileResult) -> list[str]:
+    """Serialise the per-pool breakdown of one profiling run."""
+    lines = []
+    for pool_name, data in result.per_pool.items():
+        if pool_name.startswith("__"):
+            continue
+        lines.append(
+            f"{POOL_PREFIX}|{result.configuration_id}|{pool_name}|"
+            f"{data.get('module', '?')}|{data.get('accesses', 0)}|"
+            f"{data.get('peak_footprint', 0)}"
+        )
+    return lines
+
+
+def format_event_lines(
+    configuration_id: str, trace: AllocationTrace
+) -> Iterable[str]:
+    """Yield one raw-event line per trace event (the log-bloating records)."""
+    for index, event in enumerate(trace):
+        yield (
+            f"{EVENT_PREFIX}|{configuration_id}|{index}|"
+            f"{event.kind.value}|{event.size}"
+        )
+
+
+class ProfilingLogWriter:
+    """Writes profiling logs for one or many configurations.
+
+    Parameters
+    ----------
+    stream:
+        Any text file-like object.  Use :meth:`open` for a path-based writer.
+    include_events:
+        When True, every trace event is echoed into the log — this is what
+        makes real logs huge and what the parsing-speed benchmark exercises.
+    """
+
+    def __init__(self, stream: io.TextIOBase, include_events: bool = False) -> None:
+        self.stream = stream
+        self.include_events = include_events
+        self.lines_written = 0
+
+    @classmethod
+    def open(cls, path: str | Path, include_events: bool = False) -> "ProfilingLogWriter":
+        """Create a writer over a file path (caller must call :meth:`close`)."""
+        handle = open(path, "w", encoding="utf-8")
+        return cls(handle, include_events=include_events)
+
+    def comment(self, text: str) -> None:
+        self._write_line(f"{COMMENT_PREFIX} {text}")
+
+    def write_result(
+        self, result: ProfileResult, trace: AllocationTrace | None = None
+    ) -> None:
+        """Append one profiling run to the log."""
+        self._write_line(format_result_line(result))
+        for line in format_level_lines(result):
+            self._write_line(line)
+        for line in format_pool_lines(result):
+            self._write_line(line)
+        if self.include_events and trace is not None:
+            for line in format_event_lines(result.configuration_id, trace):
+                self._write_line(line)
+
+    def _write_line(self, line: str) -> None:
+        self.stream.write(line + "\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        self.stream.close()
+
+
+def write_log(
+    path: str | Path,
+    results: Iterable[ProfileResult],
+    trace: AllocationTrace | None = None,
+    include_events: bool = False,
+) -> int:
+    """Write all ``results`` to ``path``; returns the number of lines written."""
+    writer = ProfilingLogWriter.open(path, include_events=include_events)
+    try:
+        writer.comment("dmexplore profiling log")
+        for result in results:
+            writer.write_result(result, trace)
+    finally:
+        writer.close()
+    return writer.lines_written
+
+
+def log_to_string(
+    results: Iterable[ProfileResult],
+    trace: AllocationTrace | None = None,
+    include_events: bool = False,
+) -> str:
+    """Render a log into a string (used by tests and the parser benchmark)."""
+    buffer = io.StringIO()
+    writer = ProfilingLogWriter(buffer, include_events=include_events)
+    writer.comment("dmexplore profiling log")
+    for result in results:
+        writer.write_result(result, trace)
+    return buffer.getvalue()

@@ -1,0 +1,165 @@
+"""Metric definitions and result containers.
+
+The exploration compares configurations along the four metrics the paper
+profiles: memory accesses, memory footprint, energy consumption and
+execution time.  :class:`MetricSet` is the per-run record; :data:`METRICS`
+declares, for each metric, its unit and its optimisation direction (all are
+"lower is better"), which the Pareto machinery consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declarative description of one metric."""
+
+    key: str
+    label: str
+    unit: str
+    lower_is_better: bool = True
+
+
+#: The metrics produced by every profiling run, keyed by their result field.
+METRICS: dict[str, MetricSpec] = {
+    "accesses": MetricSpec("accesses", "Memory accesses", "accesses"),
+    "footprint": MetricSpec("footprint", "Peak memory footprint", "bytes"),
+    "energy_nj": MetricSpec("energy_nj", "Memory energy", "nJ"),
+    "cycles": MetricSpec("cycles", "Execution time", "cycles"),
+}
+
+
+def metric_spec(key: str) -> MetricSpec:
+    """Look up a metric by key (raises KeyError with the valid list)."""
+    try:
+        return METRICS[key]
+    except KeyError:
+        valid = ", ".join(METRICS)
+        raise KeyError(f"unknown metric '{key}' (valid: {valid})") from None
+
+
+def metric_keys() -> list[str]:
+    """All metric keys in canonical order."""
+    return list(METRICS)
+
+
+@dataclass
+class MetricSet:
+    """Values of the four profiled metrics for one configuration run."""
+
+    accesses: int = 0
+    footprint: int = 0
+    energy_nj: float = 0.0
+    cycles: int = 0
+
+    def value(self, key: str) -> float:
+        """Return the value of metric ``key``."""
+        if key not in METRICS:
+            valid = ", ".join(METRICS)
+            raise KeyError(f"unknown metric '{key}' (valid: {valid})")
+        return float(getattr(self, key))
+
+    def values(self, keys: list[str] | None = None) -> tuple[float, ...]:
+        """Values of the requested metrics (all four by default), in order."""
+        selected = keys or metric_keys()
+        return tuple(self.value(key) for key in selected)
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "footprint": self.footprint,
+            "energy_nj": self.energy_nj,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricSet":
+        return cls(
+            accesses=int(data["accesses"]),
+            footprint=int(data["footprint"]),
+            energy_nj=float(data["energy_nj"]),
+            cycles=int(data["cycles"]),
+        )
+
+
+@dataclass
+class LevelMetrics:
+    """Per-memory-level breakdown of accesses, footprint and energy."""
+
+    module_name: str
+    reads: int = 0
+    writes: int = 0
+    footprint: int = 0
+    energy_nj: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def as_dict(self) -> dict:
+        return {
+            "module": self.module_name,
+            "reads": self.reads,
+            "writes": self.writes,
+            "accesses": self.accesses,
+            "footprint": self.footprint,
+            "energy_nj": self.energy_nj,
+        }
+
+
+@dataclass
+class ProfileResult:
+    """Full outcome of profiling one configuration on one trace.
+
+    ``totals`` carries the four exploration metrics; ``per_level`` and
+    ``per_pool`` keep the detailed breakdowns used by reports and by the
+    profiling-log writer.
+    """
+
+    configuration_id: str
+    trace_name: str
+    totals: MetricSet = field(default_factory=MetricSet)
+    per_level: dict[str, LevelMetrics] = field(default_factory=dict)
+    per_pool: dict[str, dict] = field(default_factory=dict)
+    operation_count: int = 0
+    leaked_blocks: int = 0
+
+    def level(self, module_name: str) -> LevelMetrics:
+        if module_name not in self.per_level:
+            self.per_level[module_name] = LevelMetrics(module_name)
+        return self.per_level[module_name]
+
+    def as_dict(self) -> dict:
+        return {
+            "configuration_id": self.configuration_id,
+            "trace_name": self.trace_name,
+            "totals": self.totals.as_dict(),
+            "per_level": {name: lvl.as_dict() for name, lvl in self.per_level.items()},
+            "per_pool": self.per_pool,
+            "operation_count": self.operation_count,
+            "leaked_blocks": self.leaked_blocks,
+        }
+
+
+def improvement_factor(worst: float, best: float) -> float:
+    """Ratio worst/best, the "decrease by a factor of X" figure of the paper.
+
+    Returns ``inf`` when best is zero and worst is not; 1.0 when both are
+    zero (no range at all).
+    """
+    if worst < 0 or best < 0:
+        raise ValueError("metric values must be non-negative")
+    if best == 0:
+        return float("inf") if worst > 0 else 1.0
+    return worst / best
+
+
+def percent_decrease(worst: float, best: float) -> float:
+    """Percentage decrease from worst to best, as the paper quotes (e.g. 71.74%)."""
+    if worst < 0 or best < 0:
+        raise ValueError("metric values must be non-negative")
+    if worst == 0:
+        return 0.0
+    return 100.0 * (worst - best) / worst

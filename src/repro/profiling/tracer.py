@@ -1,0 +1,182 @@
+"""Allocation trace container and validation.
+
+:class:`AllocationTrace` wraps an ordered list of
+:class:`~repro.profiling.events.AllocationEvent` with the consistency checks
+and summary statistics the exploration relies on (well-formedness, live-byte
+profile, size histogram, hot sizes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from .events import AllocationEvent, EventKind
+
+
+class TraceError(ValueError):
+    """Raised when a trace is malformed (free-before-alloc, double free...)."""
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of a trace (used by reports and workload tests)."""
+
+    event_count: int
+    alloc_count: int
+    free_count: int
+    total_requested_bytes: int
+    peak_live_bytes: int
+    peak_live_blocks: int
+    distinct_sizes: int
+    max_size: int
+    min_size: int
+    leaked_blocks: int
+
+    def as_dict(self) -> dict:
+        return {
+            "event_count": self.event_count,
+            "alloc_count": self.alloc_count,
+            "free_count": self.free_count,
+            "total_requested_bytes": self.total_requested_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
+            "peak_live_blocks": self.peak_live_blocks,
+            "distinct_sizes": self.distinct_sizes,
+            "max_size": self.max_size,
+            "min_size": self.min_size,
+            "leaked_blocks": self.leaked_blocks,
+        }
+
+
+@dataclass
+class AllocationTrace:
+    """Ordered sequence of allocation events produced by one application run."""
+
+    events: list[AllocationEvent] = field(default_factory=list)
+    name: str = "trace"
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[AllocationEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> AllocationEvent:
+        return self.events[index]
+
+    def append(self, event: AllocationEvent) -> None:
+        self.events.append(event)
+
+    def extend(self, events: Iterable[AllocationEvent]) -> None:
+        self.events.extend(events)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check well-formedness; raises :class:`TraceError` on violations.
+
+        Rules: a FREE must refer to a previously allocated, not-yet-freed
+        request id; an ALLOC must introduce a fresh id; timestamps must be
+        non-decreasing.
+        """
+        live: set[int] = set()
+        seen: set[int] = set()
+        last_timestamp = 0
+        for index, event in enumerate(self.events):
+            if event.timestamp < last_timestamp:
+                raise TraceError(
+                    f"event {index}: timestamp {event.timestamp} goes backwards "
+                    f"(previous {last_timestamp})"
+                )
+            last_timestamp = event.timestamp
+            if event.is_alloc:
+                if event.request_id in seen:
+                    raise TraceError(
+                        f"event {index}: request id {event.request_id} allocated twice"
+                    )
+                seen.add(event.request_id)
+                live.add(event.request_id)
+            else:
+                if event.request_id not in seen:
+                    raise TraceError(
+                        f"event {index}: free of never-allocated id {event.request_id}"
+                    )
+                if event.request_id not in live:
+                    raise TraceError(
+                        f"event {index}: double free of id {event.request_id}"
+                    )
+                live.remove(event.request_id)
+
+    # -- statistics -----------------------------------------------------------
+
+    def summary(self) -> TraceSummary:
+        """Compute aggregate statistics (single pass)."""
+        live_bytes = 0
+        live_blocks = 0
+        peak_live_bytes = 0
+        peak_live_blocks = 0
+        total_requested = 0
+        alloc_count = 0
+        free_count = 0
+        sizes: Counter[int] = Counter()
+        size_of: dict[int, int] = {}
+        for event in self.events:
+            if event.is_alloc:
+                alloc_count += 1
+                total_requested += event.size
+                sizes[event.size] += 1
+                size_of[event.request_id] = event.size
+                live_bytes += event.size
+                live_blocks += 1
+                peak_live_bytes = max(peak_live_bytes, live_bytes)
+                peak_live_blocks = max(peak_live_blocks, live_blocks)
+            else:
+                free_count += 1
+                live_bytes -= size_of.get(event.request_id, 0)
+                live_blocks -= 1
+        return TraceSummary(
+            event_count=len(self.events),
+            alloc_count=alloc_count,
+            free_count=free_count,
+            total_requested_bytes=total_requested,
+            peak_live_bytes=peak_live_bytes,
+            peak_live_blocks=peak_live_blocks,
+            distinct_sizes=len(sizes),
+            max_size=max(sizes) if sizes else 0,
+            min_size=min(sizes) if sizes else 0,
+            leaked_blocks=alloc_count - free_count,
+        )
+
+    def size_histogram(self) -> dict[int, int]:
+        """Allocation count per requested size (descending by count)."""
+        counts = Counter(event.size for event in self.events if event.is_alloc)
+        return dict(counts.most_common())
+
+    def hot_sizes(self, top: int = 5) -> list[int]:
+        """The ``top`` most frequently allocated sizes (most frequent first).
+
+        These are the sizes the paper's methodology gives dedicated pools to.
+        """
+        if top <= 0:
+            raise ValueError(f"top must be positive, got {top}")
+        counts = Counter(event.size for event in self.events if event.is_alloc)
+        return [size for size, _count in counts.most_common(top)]
+
+    def live_profile(self) -> list[tuple[int, int]]:
+        """(timestamp, live bytes) after every event — the footprint lower bound."""
+        profile: list[tuple[int, int]] = []
+        live_bytes = 0
+        size_of: dict[int, int] = {}
+        for event in self.events:
+            if event.is_alloc:
+                size_of[event.request_id] = event.size
+                live_bytes += event.size
+            else:
+                live_bytes -= size_of.get(event.request_id, 0)
+            profile.append((event.timestamp, live_bytes))
+        return profile
+
+    def slice(self, start: int, stop: int) -> "AllocationTrace":
+        """Return a sub-trace of events[start:stop] (no validation)."""
+        return AllocationTrace(events=self.events[start:stop], name=f"{self.name}[{start}:{stop}]")

@@ -1,0 +1,48 @@
+"""Workload models: the applications whose traces drive the exploration."""
+
+from .base import LiveObject, TraceBuilder, Workload
+from .easyport import (
+    DEFAULT_CONTROL_SIZES,
+    DEFAULT_FLOW_STATE_SIZES,
+    DEFAULT_PACKET_SIZES,
+    EasyportWorkload,
+    easyport_reference_trace,
+)
+from .synthetic import (
+    BurstyWorkload,
+    FixedSizesWorkload,
+    PhasedWorkload,
+    UniformRandomWorkload,
+)
+from .traces import TraceFormatError, load_trace, round_trip_equal, save_trace
+from .vtc import (
+    BITSTREAM_SEGMENT_BYTES,
+    STRIPE_BUFFER_BYTES,
+    TREE_NODE_BYTES,
+    VTCWorkload,
+    vtc_reference_trace,
+)
+
+__all__ = [
+    "BITSTREAM_SEGMENT_BYTES",
+    "BurstyWorkload",
+    "DEFAULT_CONTROL_SIZES",
+    "DEFAULT_FLOW_STATE_SIZES",
+    "DEFAULT_PACKET_SIZES",
+    "EasyportWorkload",
+    "FixedSizesWorkload",
+    "LiveObject",
+    "PhasedWorkload",
+    "STRIPE_BUFFER_BYTES",
+    "TREE_NODE_BYTES",
+    "TraceBuilder",
+    "TraceFormatError",
+    "UniformRandomWorkload",
+    "VTCWorkload",
+    "Workload",
+    "easyport_reference_trace",
+    "load_trace",
+    "round_trip_equal",
+    "save_trace",
+    "vtc_reference_trace",
+]

@@ -1,0 +1,121 @@
+"""Workload interface.
+
+A *workload* is a deterministic generator of allocation traces that stands
+in for one of the paper's dynamic applications.  Workloads are seeded so the
+exact same trace can be replayed against every configuration of an
+exploration — the paper runs the same application binary per configuration;
+we replay the same trace, which is the equivalent guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..profiling.events import alloc, free
+from ..profiling.tracer import AllocationTrace
+
+
+class Workload:
+    """Base class for trace-producing application models."""
+
+    #: Name used in reports and result databases.
+    name = "workload"
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        """Produce the allocation trace of one application run."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description of the modelled application."""
+        return self.name
+
+
+@dataclass
+class LiveObject:
+    """Bookkeeping entry for an object that has been allocated but not freed."""
+
+    request_id: int
+    size: int
+    free_at: int
+    tag: str = ""
+
+
+class TraceBuilder:
+    """Helper for writing workload generators.
+
+    Keeps the request-id counter, the logical clock and the set of live
+    objects, and guarantees the produced trace is well-formed (every
+    allocation is eventually freed unless explicitly leaked, frees never
+    precede their allocation, timestamps are monotone).
+    """
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.trace = AllocationTrace(name=name)
+        self.rng = random.Random(seed)
+        self._next_id = 0
+        self._clock = 0
+        self._pending: list[LiveObject] = []
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def tick(self, amount: int = 1) -> None:
+        """Advance the logical clock."""
+        if amount < 0:
+            raise ValueError("clock cannot go backwards")
+        self._clock += amount
+
+    def allocate(self, size: int, lifetime: int | None = None, tag: str = "") -> int:
+        """Emit an ALLOC event; returns the request id.
+
+        ``lifetime`` (in clock ticks) schedules an automatic free emitted by
+        :meth:`flush_due`; ``None`` means the caller frees it explicitly
+        through :meth:`release`.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        self.trace.append(alloc(request_id, size, timestamp=self._clock, tag=tag))
+        if lifetime is not None:
+            if lifetime < 0:
+                raise ValueError("lifetime must be non-negative")
+            self._pending.append(
+                LiveObject(request_id, size, free_at=self._clock + lifetime, tag=tag)
+            )
+        return request_id
+
+    def release(self, request_id: int, tag: str = "") -> None:
+        """Emit a FREE event for an explicitly managed object."""
+        self.trace.append(free(request_id, timestamp=self._clock, tag=tag))
+
+    def flush_due(self) -> int:
+        """Free every scheduled object whose lifetime has expired.
+
+        Returns the number of objects freed.  Objects are freed in
+        expiration order to keep the trace deterministic.
+        """
+        due = [obj for obj in self._pending if obj.free_at <= self._clock]
+        if not due:
+            return 0
+        due.sort(key=lambda obj: (obj.free_at, obj.request_id))
+        for obj in due:
+            self.trace.append(free(obj.request_id, timestamp=self._clock, tag=obj.tag))
+        self._pending = [obj for obj in self._pending if obj.free_at > self._clock]
+        return len(due)
+
+    def flush_all(self) -> int:
+        """Free every still-live scheduled object (end-of-run cleanup)."""
+        remaining = sorted(self._pending, key=lambda obj: (obj.free_at, obj.request_id))
+        for obj in remaining:
+            self.trace.append(free(obj.request_id, timestamp=self._clock, tag=obj.tag))
+        count = len(remaining)
+        self._pending = []
+        return count
+
+    def finish(self, validate: bool = True) -> AllocationTrace:
+        """Flush pending frees, optionally validate, and return the trace."""
+        self.flush_all()
+        if validate:
+            self.trace.validate()
+        return self.trace

@@ -1,0 +1,158 @@
+"""Easyport-like wireless/DSL port-aggregation workload.
+
+The paper's first case study is the Infineon *Easyport* application — a
+multi-port network processing application (xDSL/wireless port aggregation)
+that allocates and frees packet descriptors, payload buffers and per-flow
+state at line rate.  The real source is proprietary; this module generates
+an allocation trace with the characteristics the paper and its companion
+work (Atienza et al., DATE'04) describe for that class of applications:
+
+* the vast majority of allocations come from a handful of *hot block sizes*
+  (small descriptors and a few canonical packet payload sizes, including
+  the paper's running-example 74-byte blocks and 1500-byte frames),
+* lifetimes are short (a packet is processed and its buffers released),
+* arrivals are bursty (traffic bursts per port),
+* a small number of long-lived per-flow/per-port state objects exist.
+
+The resulting trace is what the exploration engine replays per
+configuration; dedicated pools for the hot sizes mapped to the scratchpad
+should dominate the Pareto front, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiling.tracer import AllocationTrace
+from .base import TraceBuilder, Workload
+
+#: Canonical Easyport hot block sizes (bytes) and their relative frequency.
+#: 28/44/74 bytes are descriptor/header structures (the 74-byte block is the
+#: paper's running example), 492 and 1500 bytes are ATM-AAL5 and Ethernet
+#: MTU payload buffers.
+DEFAULT_PACKET_SIZES: dict[int, float] = {
+    28: 0.26,
+    44: 0.22,
+    74: 0.30,
+    492: 0.12,
+    1500: 0.10,
+}
+
+#: Sizes of long-lived per-flow/per-port state structures.
+DEFAULT_FLOW_STATE_SIZES: list[int] = [220, 356, 512]
+
+#: Sizes of occasional management/control-plane messages.
+DEFAULT_CONTROL_SIZES: list[int] = [96, 160, 304, 2048]
+
+
+@dataclass
+class EasyportWorkload(Workload):
+    """Synthetic Easyport-style packet processing trace generator.
+
+    Parameters
+    ----------
+    packets:
+        Number of packets processed over the run.
+    ports:
+        Number of aggregated ports; bursts are generated per port.
+    burst_length:
+        Mean packets per traffic burst.
+    packet_sizes:
+        Mapping of hot payload/descriptor sizes to their probability.
+    flows:
+        Number of long-lived flow-state objects allocated at start-up.
+    control_ratio:
+        Fraction of packets that additionally trigger a control-plane
+        allocation of irregular size.
+    packet_lifetime:
+        Mean number of packet arrivals a packet's buffers stay live for
+        (processing pipeline depth).
+    """
+
+    packets: int = 6000
+    ports: int = 4
+    burst_length: int = 24
+    packet_sizes: dict[int, float] = field(
+        default_factory=lambda: dict(DEFAULT_PACKET_SIZES)
+    )
+    flows: int = 32
+    control_ratio: float = 0.02
+    packet_lifetime: int = 12
+    name: str = "easyport"
+
+    def __post_init__(self) -> None:
+        if self.packets <= 0:
+            raise ValueError("packets must be positive")
+        if self.ports <= 0:
+            raise ValueError("ports must be positive")
+        if not self.packet_sizes:
+            raise ValueError("packet_sizes must not be empty")
+        if not 0 <= self.control_ratio <= 1:
+            raise ValueError("control_ratio must be in [0, 1]")
+
+    # -- generation -----------------------------------------------------------
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        builder = TraceBuilder(self.name, seed)
+        rng = builder.rng
+        sizes = list(self.packet_sizes)
+        weights = [self.packet_sizes[size] for size in sizes]
+
+        # Long-lived per-flow state allocated during start-up; freed at the end.
+        flow_ids = []
+        for flow in range(self.flows):
+            size = rng.choice(DEFAULT_FLOW_STATE_SIZES)
+            flow_ids.append(builder.allocate(size, tag="flow_state"))
+            builder.tick()
+
+        packets_emitted = 0
+        while packets_emitted < self.packets:
+            # One traffic burst on a randomly chosen port.
+            burst = max(1, int(rng.expovariate(1.0 / self.burst_length)))
+            burst = min(burst, self.packets - packets_emitted)
+            for _ in range(burst):
+                payload_size = rng.choices(sizes, weights=weights)[0]
+                lifetime = max(1, int(rng.expovariate(1.0 / self.packet_lifetime)))
+                # Every packet allocates a descriptor and a payload buffer.
+                builder.allocate(payload_size, lifetime=lifetime, tag="packet")
+                descriptor_size = 28 if payload_size >= 128 else payload_size
+                builder.allocate(descriptor_size, lifetime=lifetime, tag="descriptor")
+                if rng.random() < self.control_ratio:
+                    control_size = rng.choice(DEFAULT_CONTROL_SIZES)
+                    builder.allocate(
+                        control_size,
+                        lifetime=lifetime * 4,
+                        tag="control",
+                    )
+                builder.tick()
+                builder.flush_due()
+                packets_emitted += 1
+            # Inter-burst gap lets the pipeline drain.
+            builder.tick(max(1, self.burst_length // 2))
+            builder.flush_due()
+
+        # Tear-down: release flow state.
+        for request_id in flow_ids:
+            builder.release(request_id, tag="flow_state")
+        return builder.finish()
+
+    # -- introspection -----------------------------------------------------------
+
+    def hot_sizes(self) -> list[int]:
+        """The hot block sizes, most frequent first (dedicated-pool candidates)."""
+        ordered = sorted(self.packet_sizes.items(), key=lambda item: -item[1])
+        return [size for size, _weight in ordered]
+
+    def describe(self) -> str:
+        return (
+            f"Easyport-style port aggregation: {self.packets} packets over "
+            f"{self.ports} ports, hot sizes {self.hot_sizes()}"
+        )
+
+
+def easyport_reference_trace(seed: int = 2006, packets: int = 6000) -> AllocationTrace:
+    """The canonical Easyport trace used by examples and benchmarks.
+
+    Fixed seed so every benchmark, example and test sees the same trace.
+    """
+    return EasyportWorkload(packets=packets).generate(seed=seed)

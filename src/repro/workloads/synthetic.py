@@ -1,0 +1,152 @@
+"""Generic synthetic workload generators.
+
+These are not tied to either case study; they are used by unit tests,
+property tests and the ablation benchmarks to stress specific allocator
+behaviours: uniform random sizes (fragmentation stress), a fixed small set
+of sizes (dedicated-pool friendly), bursty arrivals (footprint peaks) and
+phased behaviour (lifetime clustering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiling.tracer import AllocationTrace
+from .base import TraceBuilder, Workload
+
+
+@dataclass
+class UniformRandomWorkload(Workload):
+    """Uncorrelated allocations with uniformly random sizes and lifetimes."""
+
+    operations: int = 2000
+    min_size: int = 8
+    max_size: int = 2048
+    min_lifetime: int = 1
+    max_lifetime: int = 200
+    name: str = "uniform_random"
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        builder = TraceBuilder(self.name, seed)
+        for _ in range(self.operations):
+            size = builder.rng.randint(self.min_size, self.max_size)
+            lifetime = builder.rng.randint(self.min_lifetime, self.max_lifetime)
+            builder.allocate(size, lifetime=lifetime, tag="uniform")
+            builder.tick()
+            builder.flush_due()
+        return builder.finish()
+
+    def describe(self) -> str:
+        return (
+            f"{self.operations} uniform allocations of "
+            f"{self.min_size}-{self.max_size} bytes"
+        )
+
+
+@dataclass
+class FixedSizesWorkload(Workload):
+    """Allocations drawn from a small fixed set of sizes with given weights.
+
+    The friendliest possible workload for dedicated pools — useful to bound
+    the best case of the exploration.
+    """
+
+    sizes: list[int] = field(default_factory=lambda: [32, 64, 128])
+    weights: list[float] | None = None
+    operations: int = 2000
+    mean_lifetime: int = 50
+    name: str = "fixed_sizes"
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("at least one size is required")
+        if self.weights is not None and len(self.weights) != len(self.sizes):
+            raise ValueError("weights must match sizes in length")
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        builder = TraceBuilder(self.name, seed)
+        for _ in range(self.operations):
+            size = builder.rng.choices(self.sizes, weights=self.weights)[0]
+            lifetime = max(1, int(builder.rng.expovariate(1.0 / self.mean_lifetime)))
+            builder.allocate(size, lifetime=lifetime, tag="fixed")
+            builder.tick()
+            builder.flush_due()
+        return builder.finish()
+
+    def describe(self) -> str:
+        return f"{self.operations} allocations from sizes {self.sizes}"
+
+
+@dataclass
+class BurstyWorkload(Workload):
+    """Alternating bursts of allocations and quiet periods of frees.
+
+    Produces the footprint peaks that distinguish releasable pools (slabs)
+    from monotone ones, and that make coalescing pay off.
+    """
+
+    bursts: int = 20
+    burst_length: int = 100
+    quiet_length: int = 100
+    min_size: int = 16
+    max_size: int = 1024
+    name: str = "bursty"
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        builder = TraceBuilder(self.name, seed)
+        for _burst in range(self.bursts):
+            live_ids = []
+            for _ in range(self.burst_length):
+                size = builder.rng.randint(self.min_size, self.max_size)
+                live_ids.append(builder.allocate(size, tag="burst"))
+                builder.tick()
+            # Quiet period: everything allocated in the burst is released.
+            builder.tick(self.quiet_length)
+            builder.rng.shuffle(live_ids)
+            for request_id in live_ids:
+                builder.release(request_id, tag="burst")
+        return builder.finish()
+
+    def describe(self) -> str:
+        return (
+            f"{self.bursts} bursts of {self.burst_length} allocations "
+            f"({self.min_size}-{self.max_size} bytes)"
+        )
+
+
+@dataclass
+class PhasedWorkload(Workload):
+    """Distinct phases, each with its own size mix and lifetimes.
+
+    Models applications (like the VTC decoder) whose allocation behaviour
+    changes between processing stages.
+    """
+
+    phases: list[dict] = field(
+        default_factory=lambda: [
+            {"operations": 500, "sizes": [24, 40], "mean_lifetime": 30},
+            {"operations": 300, "sizes": [512, 1024], "mean_lifetime": 150},
+            {"operations": 500, "sizes": [24, 64, 96], "mean_lifetime": 20},
+        ]
+    )
+    name: str = "phased"
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        builder = TraceBuilder(self.name, seed)
+        for phase_index, phase in enumerate(self.phases):
+            operations = int(phase.get("operations", 100))
+            sizes = list(phase.get("sizes", [64]))
+            mean_lifetime = int(phase.get("mean_lifetime", 50))
+            for _ in range(operations):
+                size = builder.rng.choice(sizes)
+                lifetime = max(1, int(builder.rng.expovariate(1.0 / mean_lifetime)))
+                builder.allocate(size, lifetime=lifetime, tag=f"phase{phase_index}")
+                builder.tick()
+                builder.flush_due()
+            # Phase boundary: everything from the phase dies.
+            builder.tick(mean_lifetime * 2)
+            builder.flush_due()
+        return builder.finish()
+
+    def describe(self) -> str:
+        return f"{len(self.phases)}-phase workload"

@@ -1,0 +1,102 @@
+"""Trace file I/O.
+
+Traces can be saved to and loaded from a compact line-oriented text format so
+that expensive workload generation runs once and the exact same trace is fed
+to every configuration (and can be shipped alongside experiment results).
+
+Format: one event per line, ``A <id> <size> <timestamp> [tag]`` for
+allocations and ``F <id> <timestamp> [tag]`` for frees; ``#`` starts a
+comment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..profiling.events import alloc, free
+from ..profiling.tracer import AllocationTrace
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file line cannot be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        self.line_number = line_number
+        self.line = line
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+
+
+def save_trace(trace: AllocationTrace, path: str | Path) -> int:
+    """Write ``trace`` to ``path``; returns the number of lines written."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# trace {trace.name}\n")
+        lines += 1
+        for event in trace:
+            if event.is_alloc:
+                record = f"A {event.request_id} {event.size} {event.timestamp}"
+            else:
+                record = f"F {event.request_id} {event.timestamp}"
+            if event.tag:
+                record += f" {event.tag}"
+            handle.write(record + "\n")
+            lines += 1
+    return lines
+
+
+def load_trace(path: str | Path, validate: bool = True) -> AllocationTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    trace = AllocationTrace(name=path.stem)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                comment = line[1:].strip()
+                if comment.startswith("trace "):
+                    trace.name = comment[len("trace "):].strip() or trace.name
+                continue
+            fields = line.split()
+            kind = fields[0]
+            try:
+                if kind == "A":
+                    if len(fields) < 4:
+                        raise ValueError("ALLOC lines need id, size and timestamp")
+                    request_id, size, timestamp = (
+                        int(fields[1]),
+                        int(fields[2]),
+                        int(fields[3]),
+                    )
+                    tag = fields[4] if len(fields) > 4 else ""
+                    trace.append(alloc(request_id, size, timestamp, tag))
+                elif kind == "F":
+                    if len(fields) < 3:
+                        raise ValueError("FREE lines need id and timestamp")
+                    request_id, timestamp = int(fields[1]), int(fields[2])
+                    tag = fields[3] if len(fields) > 3 else ""
+                    trace.append(free(request_id, timestamp, tag))
+                else:
+                    raise ValueError(f"unknown record type '{kind}'")
+            except ValueError as exc:
+                raise TraceFormatError(line_number, line, str(exc)) from exc
+    if validate:
+        trace.validate()
+    return trace
+
+
+def round_trip_equal(first: AllocationTrace, second: AllocationTrace) -> bool:
+    """True when two traces contain the same events in the same order."""
+    if len(first) != len(second):
+        return False
+    for left, right in zip(first, second):
+        if (
+            left.kind != right.kind
+            or left.request_id != right.request_id
+            or left.size != right.size
+            or left.timestamp != right.timestamp
+            or left.tag != right.tag
+        ):
+            return False
+    return True

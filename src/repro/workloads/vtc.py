@@ -1,0 +1,142 @@
+"""MPEG-4 Visual Texture deCoder (VTC) workload.
+
+The paper's second case study is the MPEG-4 VTC still-texture decoder, a
+wavelet-based image codec.  Its *dynamic* memory behaviour (the part that
+goes through ``malloc``/``free`` and therefore through the explored
+allocators) is dominated by a very large population of small zero-tree node
+objects created and destroyed while each wavelet level is decoded, plus
+short-lived bitstream-segment and stripe buffers.  The big framebuffer-style
+arrays (output texture, full-resolution coefficient planes) are statically
+allocated by the reference decoder and therefore do **not** appear in the
+allocation trace — modelling them as dynamic objects would drown the
+allocator behaviour in data the allocator never manages.
+
+The generator reproduces that phase structure for a configurable image size
+and number of wavelet decomposition levels:
+
+1. *bitstream parsing*   — short-lived segment buffers per decoded chunk,
+2. *zero-tree decoding*  — thousands of small tree-node objects per level,
+   live until the level's inverse transform completes,
+3. *inverse wavelet*     — per-stripe working buffers (a few KB each),
+   recycled stripe by stripe.
+
+The proprietary reference decoder is unavailable; this synthetic generator
+reproduces the size mix, population and phase structure the allocator
+observes, which is what the exploration results depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiling.tracer import AllocationTrace
+from .base import TraceBuilder, Workload
+
+#: Size in bytes of one zero-tree node object (coefficient + children links).
+TREE_NODE_BYTES = 36
+#: Size in bytes of one parsed bitstream segment buffer.
+BITSTREAM_SEGMENT_BYTES = 256
+#: Size in bytes of one inverse-wavelet stripe working buffer.
+STRIPE_BUFFER_BYTES = 2048
+
+
+@dataclass
+class VTCWorkload(Workload):
+    """Synthetic MPEG-4 VTC still-texture decoding trace generator.
+
+    Parameters
+    ----------
+    image_width / image_height:
+        Texture dimensions in pixels; node and stripe counts scale with them.
+    wavelet_levels:
+        Number of wavelet decomposition levels (phases of the decoder).
+    coefficients_per_node:
+        How many wavelet coefficients one decoded zero-tree node covers;
+        smaller values mean more node allocations per level.
+    """
+
+    image_width: int = 256
+    image_height: int = 256
+    wavelet_levels: int = 5
+    coefficients_per_node: int = 16
+    name: str = "vtc"
+
+    def __post_init__(self) -> None:
+        if self.image_width <= 0 or self.image_height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.wavelet_levels <= 0:
+            raise ValueError("wavelet_levels must be positive")
+        if self.coefficients_per_node <= 0:
+            raise ValueError("coefficients_per_node must be positive")
+
+    # -- generation -----------------------------------------------------------
+
+    def _coefficients_at_level(self, level: int) -> int:
+        """Number of wavelet coefficients at decomposition ``level`` (0 = finest)."""
+        return max(1, (self.image_width * self.image_height) // (4**level))
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        builder = TraceBuilder(self.name, seed)
+        rng = builder.rng
+
+        # Decode from the coarsest level to the finest (as the standard does).
+        for level in reversed(range(self.wavelet_levels)):
+            coefficients = self._coefficients_at_level(level)
+            nodes = max(8, coefficients // self.coefficients_per_node)
+
+            # Phase 1: bitstream parsing for this level.
+            segments = max(2, nodes // 32)
+            for _ in range(segments):
+                builder.allocate(
+                    BITSTREAM_SEGMENT_BYTES,
+                    lifetime=rng.randint(2, 8),
+                    tag=f"bitstream_l{level}",
+                )
+                builder.tick()
+                builder.flush_due()
+
+            # Phase 2: zero-tree nodes, live until the level is reconstructed.
+            node_ids = []
+            for _ in range(nodes):
+                jitter = rng.choice((0, 0, 0, 4, 8))  # occasional larger nodes
+                node_ids.append(
+                    builder.allocate(TREE_NODE_BYTES + jitter, tag=f"tree_node_l{level}")
+                )
+                if len(node_ids) % 32 == 0:
+                    builder.tick()
+
+            # Phase 3: inverse wavelet, stripe by stripe.  Each stripe uses a
+            # working buffer that is released before the next stripe starts.
+            stripes = max(2, self.image_height // (8 * (level + 1)))
+            for _ in range(stripes):
+                stripe_id = builder.allocate(STRIPE_BUFFER_BYTES, tag=f"stripe_l{level}")
+                builder.tick(2)
+                builder.release(stripe_id, tag=f"stripe_l{level}")
+
+            # The level's reconstruction consumes the tree nodes.
+            builder.tick(4)
+            rng.shuffle(node_ids)
+            for request_id in node_ids:
+                builder.release(request_id, tag=f"tree_node_l{level}")
+            builder.tick(2)
+            builder.flush_due()
+
+        return builder.finish()
+
+    # -- introspection -----------------------------------------------------------
+
+    def hot_sizes(self) -> list[int]:
+        """Dedicated-pool candidates: tree nodes, segments, stripe buffers."""
+        return [TREE_NODE_BYTES, BITSTREAM_SEGMENT_BYTES, STRIPE_BUFFER_BYTES]
+
+    def describe(self) -> str:
+        return (
+            f"MPEG-4 VTC still texture decoding of a "
+            f"{self.image_width}x{self.image_height} texture, "
+            f"{self.wavelet_levels} wavelet levels"
+        )
+
+
+def vtc_reference_trace(seed: int = 2006, image_size: int = 256) -> AllocationTrace:
+    """The canonical VTC trace used by examples and benchmarks (fixed seed)."""
+    return VTCWorkload(image_width=image_size, image_height=image_size).generate(seed=seed)

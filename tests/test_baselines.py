@@ -1,0 +1,81 @@
+"""Unit tests for the general-purpose baseline allocators."""
+
+import pytest
+
+from repro.allocator.baselines import (
+    BASELINE_BUILDERS,
+    baseline_names,
+    dlmalloc_allocator,
+    kingsley_allocator,
+    make_baseline,
+    simple_freelist_allocator,
+)
+from repro.memhier.hierarchy import flat_main_memory
+from repro.memhier.mapping import PoolMapping
+from repro.profiling.profiler import profile_trace
+from repro.workloads.easyport import EasyportWorkload
+
+
+def run_baseline(builder, trace):
+    allocator = builder()
+    hierarchy = flat_main_memory()
+    mapping = PoolMapping(hierarchy)
+    for pool in allocator.pools:
+        mapping.place_pool(pool.name, hierarchy.background_module.name)
+    return profile_trace(allocator, trace, mapping, configuration_id=allocator.name)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return EasyportWorkload(packets=300).generate(seed=8)
+
+
+class TestBaselineRegistry:
+    def test_names_and_builders_match(self):
+        assert set(baseline_names()) == set(BASELINE_BUILDERS)
+
+    def test_make_baseline(self):
+        for name in baseline_names():
+            allocator = make_baseline(name)
+            assert allocator.pools
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            make_baseline("tcmalloc")
+
+
+class TestBaselineBehaviour:
+    @pytest.mark.parametrize(
+        "builder", [kingsley_allocator, dlmalloc_allocator, simple_freelist_allocator]
+    )
+    def test_serves_full_trace_without_leaks(self, builder, trace):
+        result = run_baseline(builder, trace)
+        assert result.leaked_blocks == 0
+        assert result.per_pool["__profile__"]["oom_failures"] == 0
+        assert result.totals.accesses > 0
+
+    def test_kingsley_faster_but_fatter_than_dlmalloc(self, trace):
+        kingsley = run_baseline(kingsley_allocator, trace)
+        dlmalloc = run_baseline(dlmalloc_allocator, trace)
+        # The classic trade-off: segregated power-of-two lists do far fewer
+        # metadata accesses, best-fit-with-coalescing keeps footprint lower.
+        assert kingsley.totals.accesses < dlmalloc.totals.accesses
+        assert dlmalloc.totals.footprint <= kingsley.totals.footprint * 1.5
+
+    def test_simple_freelist_has_worst_footprint_or_accesses(self, trace):
+        simple = run_baseline(simple_freelist_allocator, trace)
+        kingsley = run_baseline(kingsley_allocator, trace)
+        dlmalloc = run_baseline(dlmalloc_allocator, trace)
+        assert (
+            simple.totals.footprint >= dlmalloc.totals.footprint
+            or simple.totals.accesses >= kingsley.totals.accesses
+        )
+
+    def test_kingsley_rounds_to_power_of_two_classes(self):
+        allocator = kingsley_allocator()
+        address = allocator.malloc(70)
+        pool = allocator.owner_of(address)
+        block = pool._live[address]
+        # 70 bytes land in the 65..128 class.
+        assert block.requested_size == 70
+        assert block.size >= 128

@@ -1,0 +1,162 @@
+"""Unit tests for the block model (repro.allocator.blocks)."""
+
+import pytest
+
+from repro.allocator.blocks import (
+    BOUNDARY_TAG_BYTES,
+    HEADER_BYTES,
+    Block,
+    BlockRange,
+    BlockStatus,
+    SizeClass,
+    align_up,
+    block_overhead,
+    gross_block_size,
+    power_of_two_size_classes,
+)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(16, 4) == 16
+
+    def test_rounds_up(self):
+        assert align_up(13, 4) == 16
+
+    def test_zero_size(self):
+        assert align_up(0, 8) == 0
+
+    def test_alignment_one(self):
+        assert align_up(13, 1) == 13
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(-1, 4)
+
+    def test_non_positive_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(8, 0)
+
+
+class TestOverheadAndGrossSize:
+    def test_block_overhead_without_tag(self):
+        assert block_overhead() == HEADER_BYTES
+
+    def test_block_overhead_with_tag(self):
+        assert block_overhead(with_boundary_tag=True) == HEADER_BYTES + BOUNDARY_TAG_BYTES
+
+    def test_gross_size_includes_alignment_and_header(self):
+        assert gross_block_size(13, 4) == 16 + HEADER_BYTES
+
+    def test_gross_size_exact_payload(self):
+        assert gross_block_size(64, 4) == 64 + HEADER_BYTES
+
+
+class TestBlock:
+    def test_new_block_is_free(self):
+        block = Block(address=0, size=64)
+        assert block.is_free
+        assert not block.is_allocated
+
+    def test_end_address(self):
+        block = Block(address=100, size=50)
+        assert block.end == 150
+
+    def test_mark_allocated_and_free(self):
+        block = Block(address=0, size=64)
+        block.mark_allocated(40)
+        assert block.is_allocated
+        assert block.requested_size == 40
+        block.mark_free()
+        assert block.is_free
+        assert block.requested_size == 0
+
+    def test_double_allocate_rejected(self):
+        block = Block(address=0, size=64)
+        block.mark_allocated(10)
+        with pytest.raises(ValueError):
+            block.mark_allocated(10)
+
+    def test_double_free_rejected(self):
+        block = Block(address=0, size=64)
+        with pytest.raises(ValueError):
+            block.mark_free()
+
+    def test_internal_fragmentation(self):
+        block = Block(address=0, size=64)
+        block.mark_allocated(40)
+        assert block.internal_fragmentation == 24
+
+    def test_internal_fragmentation_zero_when_free(self):
+        block = Block(address=0, size=64)
+        assert block.internal_fragmentation == 0
+
+    def test_adjacency(self):
+        first = Block(address=0, size=32)
+        second = Block(address=32, size=32)
+        third = Block(address=100, size=32)
+        assert first.adjacent_to(second)
+        assert second.adjacent_to(first)
+        assert not first.adjacent_to(third)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Block(address=-1, size=10)
+        with pytest.raises(ValueError):
+            Block(address=0, size=0)
+
+
+class TestBlockRange:
+    def test_size_and_contains(self):
+        block_range = BlockRange(10, 20)
+        assert block_range.size == 10
+        assert block_range.contains(10)
+        assert block_range.contains(19)
+        assert not block_range.contains(20)
+
+    def test_overlap(self):
+        assert BlockRange(0, 10).overlaps(BlockRange(5, 15))
+        assert not BlockRange(0, 10).overlaps(BlockRange(10, 20))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            BlockRange(10, 5)
+
+
+class TestSizeClass:
+    def test_matches_inclusive_bounds(self):
+        size_class = SizeClass(16, 32)
+        assert size_class.matches(16)
+        assert size_class.matches(32)
+        assert not size_class.matches(15)
+        assert not size_class.matches(33)
+
+    def test_exact_class(self):
+        size_class = SizeClass(74, 74)
+        assert size_class.is_exact
+        assert size_class.matches(74)
+
+    def test_default_label(self):
+        assert SizeClass(1, 8).label == "1-8B"
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            SizeClass(10, 5)
+
+
+class TestPowerOfTwoClasses:
+    def test_classes_cover_contiguously(self):
+        classes = power_of_two_size_classes(3, 8)
+        assert classes[0].min_size == 1
+        for previous, current in zip(classes, classes[1:]):
+            assert current.min_size == previous.max_size + 1
+
+    def test_every_size_in_range_is_covered_once(self):
+        classes = power_of_two_size_classes(3, 10)
+        for size in range(1, 1025):
+            matching = [cls for cls in classes if cls.matches(size)]
+            assert len(matching) == 1, f"size {size} covered by {len(matching)} classes"
+
+    def test_invalid_exponents(self):
+        with pytest.raises(ValueError):
+            power_of_two_size_classes(5, 3)

@@ -1,0 +1,84 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import HIERARCHIES, SPACES, WORKLOADS, build_parser, main
+from repro.core.results import ResultDatabase
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.workload == "easyport"
+        assert args.space == "compact"
+
+    def test_registries_complete(self):
+        assert {"easyport", "vtc", "uniform", "bursty"} <= set(WORKLOADS)
+        assert {"default", "compact", "smoke"} <= set(SPACES)
+        assert {"2level", "3level"} <= set(HIERARCHIES)
+
+
+class TestCommands:
+    def test_trace_command(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        code = main(["trace", "--workload", "uniform", "--seed", "1", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "allocations" in captured
+
+    def test_explore_pareto_report_pipeline(self, tmp_path, capsys):
+        database_path = tmp_path / "results.json"
+        code = main(
+            [
+                "explore",
+                "--workload",
+                "uniform",
+                "--space",
+                "smoke",
+                "--seed",
+                "1",
+                "--out",
+                str(database_path),
+            ]
+        )
+        assert code == 0
+        assert database_path.exists()
+        payload = json.loads(database_path.read_text())
+        assert payload["records"]
+
+        code = main(["pareto", str(database_path)])
+        assert code == 0
+        assert "Pareto-optimal" in capsys.readouterr().out
+
+        export_dir = tmp_path / "artifacts"
+        code = main(["report", str(database_path), "--export-dir", str(export_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "exported artefacts" in output
+        assert (export_dir / "exploration_all.csv").exists()
+
+    def test_explore_with_sampling(self, tmp_path):
+        database_path = tmp_path / "sampled.json"
+        code = main(
+            [
+                "explore",
+                "--workload",
+                "uniform",
+                "--space",
+                "compact",
+                "--sample",
+                "4",
+                "--out",
+                str(database_path),
+            ]
+        )
+        assert code == 0
+        database = ResultDatabase.from_json(database_path)
+        assert len(database) == 4

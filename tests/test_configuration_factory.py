@@ -1,0 +1,237 @@
+"""Unit tests for configurations and the allocator factory."""
+
+import pytest
+
+from repro.allocator.buddy import BuddyPool
+from repro.allocator.errors import ConfigurationError
+from repro.allocator.pool import FixedSizePool, GeneralPool, RegionPool
+from repro.allocator.segregated import SegregatedFitPool
+from repro.allocator.slab import SlabPool
+from repro.core.configuration import (
+    AllocatorConfiguration,
+    PoolSpec,
+    configuration_from_point,
+)
+from repro.core.factory import AllocatorFactory, build_allocator
+from repro.core.space import default_parameter_space
+from repro.memhier.hierarchy import embedded_three_level, embedded_two_level
+
+HOT_SIZES = [28, 74, 44, 492, 1500]
+
+
+class TestPoolSpec:
+    def test_round_trip(self):
+        spec = PoolSpec(name="p", kind="fixed", block_size=74, module="l1_scratchpad")
+        assert PoolSpec.from_dict(spec.as_dict()) == spec
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigurationError):
+            PoolSpec(name="p", kind="magic")
+
+    def test_fixed_needs_block_size(self):
+        with pytest.raises(ConfigurationError):
+            PoolSpec(name="p", kind="fixed")
+
+    def test_needs_name_and_chunk(self):
+        with pytest.raises(ConfigurationError):
+            PoolSpec(name="", kind="general")
+        with pytest.raises(ConfigurationError):
+            PoolSpec(name="p", kind="general", chunk_size=0)
+
+
+class TestAllocatorConfiguration:
+    def make_config(self):
+        return AllocatorConfiguration(
+            pools=[
+                PoolSpec(name="d74", kind="fixed", block_size=74, module="l1_scratchpad"),
+                PoolSpec(name="general", kind="general", module="main_memory"),
+            ],
+            label="cfg_test",
+        )
+
+    def test_basic_properties(self):
+        config = self.make_config()
+        assert config.configuration_id == "cfg_test"
+        assert [pool.name for pool in config.dedicated_pools] == ["d74"]
+        assert config.fallback_pool.name == "general"
+        assert config.pools_on_module("l1_scratchpad")[0].name == "d74"
+
+    def test_fingerprint_stability(self):
+        assert self.make_config().fingerprint() == self.make_config().fingerprint()
+
+    def test_fingerprint_changes_with_content(self):
+        config = self.make_config()
+        other = AllocatorConfiguration(
+            pools=[PoolSpec(name="general", kind="general")], label=""
+        )
+        assert config.fingerprint() != other.fingerprint()
+
+    def test_round_trip(self):
+        config = self.make_config()
+        rebuilt = AllocatorConfiguration.from_dict(config.as_dict())
+        assert rebuilt.fingerprint() == config.fingerprint()
+        assert rebuilt.label == config.label
+
+    def test_needs_at_least_one_pool(self):
+        with pytest.raises(ConfigurationError):
+            AllocatorConfiguration(pools=[])
+
+    def test_duplicate_pool_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AllocatorConfiguration(
+                pools=[
+                    PoolSpec(name="p", kind="general"),
+                    PoolSpec(name="p", kind="general"),
+                ]
+            )
+
+    def test_describe_mentions_pools(self):
+        text = self.make_config().describe()
+        assert "d74" in text and "general" in text
+
+
+class TestConfigurationFromPoint:
+    def test_zero_dedicated_pools(self):
+        config = configuration_from_point({"num_dedicated_pools": 0}, HOT_SIZES)
+        assert len(config.pools) == 1
+        assert config.pools[0].kind == "general"
+
+    def test_dedicated_pools_created_for_hot_sizes(self):
+        point = {
+            "num_dedicated_pools": 3,
+            "dedicated_pool_kind": "fixed",
+            "dedicated_pool_placement": "scratchpad",
+        }
+        config = configuration_from_point(point, HOT_SIZES)
+        dedicated_sizes = [pool.block_size for pool in config.dedicated_pools]
+        assert sorted(dedicated_sizes) == sorted(HOT_SIZES[:3])
+        # Dispatch order must be smallest first so requests take the tightest pool.
+        assert dedicated_sizes == sorted(dedicated_sizes)
+
+    def test_dedicated_count_clamped_to_available_sizes(self):
+        config = configuration_from_point({"num_dedicated_pools": 10}, [64, 128])
+        assert len(config.dedicated_pools) == 2
+
+    def test_policies_forwarded_to_general_pool(self):
+        point = {
+            "general_free_list": "address_ordered",
+            "general_fit": "best_fit",
+            "general_coalescing": "immediate",
+            "general_splitting": "always",
+            "chunk_size": 8192,
+        }
+        config = configuration_from_point(point, HOT_SIZES)
+        general = config.fallback_pool
+        assert general.free_list == "address_ordered"
+        assert general.fit == "best_fit"
+        assert general.coalescing == "immediate"
+        assert general.splitting == "always"
+        assert general.chunk_size == 8192
+
+    def test_placement_mapping(self):
+        point = {
+            "num_dedicated_pools": 1,
+            "dedicated_pool_placement": "scratchpad",
+            "general_placement": "main",
+        }
+        config = configuration_from_point(
+            point, HOT_SIZES, scratchpad_module="spm", main_module="dram"
+        )
+        assert config.dedicated_pools[0].module == "spm"
+        assert config.fallback_pool.module == "dram"
+
+    def test_parameters_recorded(self):
+        point = {"num_dedicated_pools": 1, "general_fit": "best_fit"}
+        config = configuration_from_point(point, HOT_SIZES)
+        assert config.parameters == point
+
+    def test_negative_dedicated_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configuration_from_point({"num_dedicated_pools": -1}, HOT_SIZES)
+
+    def test_every_default_space_point_is_buildable(self):
+        space = default_parameter_space()
+        hierarchy = embedded_two_level()
+        factory = AllocatorFactory(hierarchy)
+        for point in space.sample(25, seed=11):
+            config = configuration_from_point(point, HOT_SIZES)
+            built = factory.build(config)
+            assert built.allocator.pools
+
+
+class TestAllocatorFactory:
+    def test_pool_kinds_built_correctly(self):
+        hierarchy = embedded_two_level()
+        config = AllocatorConfiguration(
+            pools=[
+                PoolSpec(name="fixed", kind="fixed", block_size=74, module="l1_scratchpad"),
+                PoolSpec(name="slab", kind="slab", block_size=128, module="l1_scratchpad"),
+                PoolSpec(name="region", kind="region", module="main_memory"),
+                PoolSpec(name="buddy", kind="buddy", reserved_bytes=1 << 16, module="main_memory"),
+                PoolSpec(name="seg", kind="segregated", module="main_memory"),
+                PoolSpec(name="general", kind="general", module="main_memory"),
+            ]
+        )
+        built = AllocatorFactory(hierarchy).build(config)
+        kinds = {pool.name: type(pool) for pool in built.allocator.pools}
+        assert kinds["fixed"] is FixedSizePool
+        assert kinds["slab"] is SlabPool
+        assert kinds["region"] is RegionPool
+        assert kinds["buddy"] is BuddyPool
+        assert kinds["seg"] is SegregatedFitPool
+        assert kinds["general"] is GeneralPool
+
+    def test_mapping_respects_modules(self):
+        hierarchy = embedded_two_level()
+        config = configuration_from_point(
+            {"num_dedicated_pools": 2, "dedicated_pool_placement": "scratchpad"},
+            HOT_SIZES,
+            scratchpad_module="l1_scratchpad",
+            main_module="main_memory",
+        )
+        built = build_allocator(config, hierarchy)
+        for pool in config.dedicated_pools:
+            assert built.mapping.module_of(pool.name).name == "l1_scratchpad"
+        assert built.mapping.module_of("general").name == "main_memory"
+
+    def test_bounded_module_shared_between_pools(self):
+        hierarchy = embedded_two_level(scratchpad_size=64 * 1024)
+        config = configuration_from_point(
+            {"num_dedicated_pools": 4, "dedicated_pool_placement": "scratchpad"},
+            HOT_SIZES,
+        )
+        built = build_allocator(config, hierarchy)
+        capacities = [
+            built.allocator.pool_named(spec.name).space.capacity
+            for spec in config.dedicated_pools
+        ]
+        assert all(capacity is not None for capacity in capacities)
+        assert sum(capacities) <= 64 * 1024
+
+    def test_scratchpad_alias_resolution(self):
+        hierarchy = embedded_three_level()
+        config = configuration_from_point(
+            {"num_dedicated_pools": 1, "dedicated_pool_placement": "scratchpad"},
+            HOT_SIZES,
+            scratchpad_module="scratchpad",
+            main_module="main",
+        )
+        built = AllocatorFactory(hierarchy).build(config)
+        assert built.mapping.module_of(config.dedicated_pools[0].name).name == hierarchy.fastest.name
+
+    def test_unknown_module_rejected(self):
+        hierarchy = embedded_two_level()
+        config = AllocatorConfiguration(
+            pools=[PoolSpec(name="general", kind="general", module="l7_cache")]
+        )
+        with pytest.raises(ConfigurationError):
+            AllocatorFactory(hierarchy).build(config)
+
+    def test_built_allocator_serves_requests(self):
+        hierarchy = embedded_two_level()
+        config = configuration_from_point({"num_dedicated_pools": 2}, HOT_SIZES)
+        built = build_allocator(config, hierarchy)
+        addresses = [built.allocator.malloc(size) for size in (28, 74, 300, 1500)]
+        for address in addresses:
+            built.allocator.free(address)
+        assert built.allocator.check_all_freed()

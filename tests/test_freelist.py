@@ -1,0 +1,160 @@
+"""Unit tests for free-list organisations (repro.allocator.freelist)."""
+
+import pytest
+
+from repro.allocator.blocks import Block
+from repro.allocator.errors import ConfigurationError
+from repro.allocator.freelist import (
+    FREE_LIST_POLICIES,
+    AddressOrderedFreeList,
+    FIFOFreeList,
+    LIFOFreeList,
+    SizeOrderedFreeList,
+    free_list_policy_names,
+    make_free_list,
+    validate_free_list,
+)
+
+
+def blocks_of(sizes_and_addresses):
+    return [Block(address=addr, size=size) for addr, size in sizes_and_addresses]
+
+
+class TestLIFO:
+    def test_most_recent_first(self):
+        free_list = LIFOFreeList()
+        first, second = blocks_of([(0, 32), (32, 32)])
+        free_list.push(first)
+        free_list.push(second)
+        assert free_list.blocks()[0] is second
+
+    def test_insertion_cost_is_constant(self):
+        free_list = LIFOFreeList()
+        for index in range(10):
+            free_list.push(Block(address=index * 32, size=32))
+            assert free_list.last_insertion_visits == 1
+
+
+class TestFIFO:
+    def test_oldest_first(self):
+        free_list = FIFOFreeList()
+        first, second = blocks_of([(0, 32), (32, 32)])
+        free_list.push(first)
+        free_list.push(second)
+        assert free_list.blocks()[0] is first
+
+
+class TestAddressOrdered:
+    def test_sorted_by_address(self):
+        free_list = AddressOrderedFreeList()
+        for address in [96, 0, 64, 32]:
+            free_list.push(Block(address=address, size=32))
+        addresses = [block.address for block in free_list.blocks()]
+        assert addresses == sorted(addresses)
+
+    def test_insertion_cost_grows_with_position(self):
+        free_list = AddressOrderedFreeList()
+        for address in [0, 32, 64]:
+            free_list.push(Block(address=address, size=32))
+        free_list.push(Block(address=128, size=32))
+        assert free_list.last_insertion_visits == 3
+
+    def test_find_adjacent(self):
+        free_list = AddressOrderedFreeList()
+        low = Block(address=0, size=32)
+        high = Block(address=64, size=32)
+        free_list.push(low)
+        free_list.push(high)
+        middle = Block(address=32, size=32)
+        predecessor, successor = free_list.find_adjacent(middle)
+        assert predecessor is low
+        assert successor is high
+
+    def test_find_adjacent_non_contiguous(self):
+        free_list = AddressOrderedFreeList()
+        free_list.push(Block(address=0, size=16))  # ends at 16, not adjacent
+        free_list.push(Block(address=100, size=16))
+        middle = Block(address=32, size=32)
+        predecessor, successor = free_list.find_adjacent(middle)
+        assert predecessor is None
+        assert successor is None
+
+
+class TestSizeOrdered:
+    def test_sorted_by_size(self):
+        free_list = SizeOrderedFreeList()
+        for size in [128, 16, 64, 32]:
+            free_list.push(Block(address=size * 10, size=size))
+        sizes = [block.size for block in free_list.blocks()]
+        assert sizes == sorted(sizes)
+
+    def test_ties_broken_by_address(self):
+        free_list = SizeOrderedFreeList()
+        second = Block(address=200, size=32)
+        first = Block(address=100, size=32)
+        free_list.push(second)
+        free_list.push(first)
+        assert free_list.blocks()[0] is first
+
+
+class TestCommonOperations:
+    @pytest.mark.parametrize("policy", sorted(FREE_LIST_POLICIES))
+    def test_push_remove_len(self, policy):
+        free_list = make_free_list(policy)
+        block = Block(address=0, size=32)
+        other = Block(address=32, size=64)
+        free_list.push(block)
+        free_list.push(other)
+        assert len(free_list) == 2
+        assert block in free_list
+        free_list.remove(block)
+        assert len(free_list) == 1
+        assert block not in free_list
+
+    @pytest.mark.parametrize("policy", sorted(FREE_LIST_POLICIES))
+    def test_pop_front_and_clear(self, policy):
+        free_list = make_free_list(policy)
+        free_list.push(Block(address=0, size=32))
+        free_list.push(Block(address=32, size=32))
+        popped = free_list.pop_front()
+        assert popped is free_list.blocks()[0] or popped not in free_list
+        free_list.clear()
+        assert len(free_list) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            LIFOFreeList().pop_front()
+
+    def test_remove_missing_raises(self):
+        free_list = LIFOFreeList()
+        with pytest.raises(ValueError):
+            free_list.remove(Block(address=0, size=32))
+
+    def test_total_free_bytes_and_largest(self):
+        free_list = FIFOFreeList()
+        assert free_list.largest_block() is None
+        free_list.push(Block(address=0, size=32))
+        free_list.push(Block(address=32, size=128))
+        assert free_list.total_free_bytes == 160
+        assert free_list.largest_block().size == 128
+
+    def test_validate_free_list_detects_allocated(self):
+        block = Block(address=0, size=32)
+        block.mark_allocated(10)
+        with pytest.raises(AssertionError):
+            validate_free_list([block])
+
+    def test_validate_free_list_detects_duplicates(self):
+        block = Block(address=0, size=32)
+        with pytest.raises(AssertionError):
+            validate_free_list([block, block])
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in free_list_policy_names():
+            assert make_free_list(name).policy_name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_free_list("no_such_policy")

@@ -1,0 +1,129 @@
+"""Unit tests for the simulated backing store (repro.allocator.heap)."""
+
+import pytest
+
+from repro.allocator.errors import OutOfMemoryError
+from repro.allocator.heap import (
+    UNBOUNDED_POOL_STRIDE,
+    AddressSpaceAllocator,
+    PoolAddressSpace,
+)
+
+
+class TestPoolAddressSpace:
+    def test_starts_empty(self):
+        space = PoolAddressSpace(base=0, capacity=1024)
+        assert space.used == 0
+        assert space.brk_address == 0
+
+    def test_grow_rounds_to_chunks(self):
+        space = PoolAddressSpace(base=0, capacity=None, chunk_size=64)
+        grown = space.grow(10)
+        assert grown.size == 64
+        assert space.used == 64
+
+    def test_grow_multiple_chunks(self):
+        space = PoolAddressSpace(base=0, capacity=None, chunk_size=64)
+        grown = space.grow(100)
+        assert grown.size == 128
+
+    def test_grow_exact(self):
+        space = PoolAddressSpace(base=0, capacity=None, chunk_size=64)
+        grown = space.grow_exact(10)
+        assert grown.size == 10
+        assert space.used == 10
+
+    def test_grow_respects_capacity(self):
+        space = PoolAddressSpace(base=0, capacity=100, chunk_size=64)
+        space.grow(64)
+        with pytest.raises(OutOfMemoryError):
+            space.grow(64)
+
+    def test_grow_falls_back_to_exact_near_capacity(self):
+        space = PoolAddressSpace(base=0, capacity=100, chunk_size=64)
+        space.grow(64)
+        # 36 bytes remain: a chunked grow would need 64, but the exact
+        # request still fits.
+        grown = space.grow(30)
+        assert grown.size == 30
+
+    def test_base_offsets_addresses(self):
+        space = PoolAddressSpace(base=1000, capacity=None, chunk_size=16)
+        grown = space.grow(16)
+        assert grown.start == 1000
+        assert space.brk_address == 1016
+
+    def test_contains(self):
+        space = PoolAddressSpace(base=100, capacity=None, chunk_size=16)
+        space.grow(16)
+        assert space.contains(100)
+        assert space.contains(115)
+        assert not space.contains(116)
+        assert not space.contains(99)
+
+    def test_remaining(self):
+        space = PoolAddressSpace(base=0, capacity=128, chunk_size=16)
+        assert space.remaining() == 128
+        space.grow(16)
+        assert space.remaining() == 112
+        unbounded = PoolAddressSpace(base=0, capacity=None)
+        assert unbounded.remaining() is None
+
+    def test_reset(self):
+        space = PoolAddressSpace(base=0, capacity=None, chunk_size=16)
+        space.grow(16)
+        space.reset()
+        assert space.used == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoolAddressSpace(base=-1)
+        with pytest.raises(ValueError):
+            PoolAddressSpace(chunk_size=0)
+        with pytest.raises(ValueError):
+            PoolAddressSpace().grow(0)
+
+
+class TestAddressSpaceAllocator:
+    def test_reserves_disjoint_ranges(self):
+        carver = AddressSpaceAllocator(1000)
+        base_a, cap_a = carver.reserve("a", 400)
+        base_b, cap_b = carver.reserve("b", 400)
+        assert base_a == 0 and cap_a == 400
+        assert base_b == 400 and cap_b == 400
+        assert carver.remaining() == 200
+
+    def test_reserve_rest_of_module(self):
+        carver = AddressSpaceAllocator(1000)
+        carver.reserve("a", 400)
+        base_b, cap_b = carver.reserve("b", None)
+        assert base_b == 400
+        assert cap_b == 600
+        assert carver.remaining() == 0
+
+    def test_over_reservation_rejected(self):
+        carver = AddressSpaceAllocator(100)
+        with pytest.raises(OutOfMemoryError):
+            carver.reserve("a", 200)
+
+    def test_duplicate_pool_rejected(self):
+        carver = AddressSpaceAllocator(100)
+        carver.reserve("a", 10)
+        with pytest.raises(ValueError):
+            carver.reserve("a", 10)
+
+    def test_unbounded_module_gives_disjoint_strides(self):
+        carver = AddressSpaceAllocator(None)
+        base_a, cap_a = carver.reserve("a", None)
+        base_b, cap_b = carver.reserve("b", None)
+        assert cap_a is None and cap_b is None
+        assert base_b - base_a == UNBOUNDED_POOL_STRIDE
+
+    def test_base_offset(self):
+        carver = AddressSpaceAllocator(100, base_offset=5000)
+        base, cap = carver.reserve("a", 50)
+        assert base == 5000
+        assert cap == 50
+        base_b, cap_b = carver.reserve("b", None)
+        assert base_b == 5050
+        assert cap_b == 50

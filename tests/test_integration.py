@@ -1,0 +1,111 @@
+"""Integration tests: the full explore → Pareto → report/export pipeline."""
+
+import pytest
+
+from repro.core.exploration import ExplorationEngine, ExplorationSettings
+from repro.core.reporting import exploration_report
+from repro.core.results import ResultDatabase
+from repro.core.space import smoke_parameter_space
+from repro.core.tradeoff import TradeoffAnalysis
+from repro.gui.report import export_artifacts
+from repro.memhier.hierarchy import embedded_three_level, embedded_two_level
+from repro.profiling.logformat import write_log
+from repro.profiling.parser import parse_log
+from repro.profiling.profiler import Profiler
+from repro.workloads.easyport import EasyportWorkload
+from repro.workloads.vtc import VTCWorkload
+
+
+@pytest.fixture(scope="module")
+def easyport_trace():
+    return EasyportWorkload(packets=250).generate(seed=11)
+
+
+@pytest.fixture(scope="module")
+def easyport_database(easyport_trace):
+    return ExplorationEngine(smoke_parameter_space(), easyport_trace).explore()
+
+
+class TestEndToEndPipeline:
+    def test_every_configuration_profiled_without_leaks(self, easyport_trace):
+        engine = ExplorationEngine(smoke_parameter_space(), easyport_trace)
+        for index, point in enumerate(smoke_parameter_space().points()):
+            configuration = engine.configuration_for(point, label=f"it{index}")
+            built = engine.factory.build(configuration)
+            profiler = Profiler(built.mapping)
+            result = profiler.run(built.allocator, easyport_trace)
+            assert result.leaked_blocks == 0
+
+    def test_full_report_and_exports(self, tmp_path, easyport_database):
+        report = exploration_report(easyport_database, title="integration")
+        assert "Pareto-optimal" in report
+        paths = export_artifacts(easyport_database, tmp_path / "out")
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_database_json_round_trip_preserves_pareto(self, tmp_path, easyport_database):
+        path = tmp_path / "db.json"
+        easyport_database.to_json(path)
+        loaded = ResultDatabase.from_json(path)
+        original_front = {r.configuration_id for r in easyport_database.pareto_records()}
+        loaded_front = {r.configuration_id for r in loaded.pareto_records()}
+        assert original_front == loaded_front
+
+    def test_profiling_log_pipeline(self, tmp_path, easyport_trace):
+        """Explore -> write raw profiling log -> parse -> same Pareto front."""
+        engine = ExplorationEngine(smoke_parameter_space(), easyport_trace)
+        results = []
+        for index, point in enumerate(smoke_parameter_space().points()):
+            configuration = engine.configuration_for(point, label=f"log{index}")
+            built = engine.factory.build(configuration)
+            results.append(Profiler(built.mapping).run(built.allocator, easyport_trace,
+                                                       configuration.configuration_id))
+        log_path = tmp_path / "profiling.log"
+        write_log(log_path, results)
+        parsed = parse_log(log_path)
+        assert len(parsed.results) == len(results)
+        for result in results:
+            restored = parsed.result_for(result.configuration_id)
+            assert restored.totals.accesses == result.totals.accesses
+            assert restored.totals.footprint == result.totals.footprint
+
+    def test_paper_shape_dedicated_scratchpad_pools_win(self, easyport_database):
+        """The headline qualitative result: configurations with dedicated
+        pools mapped onto the scratchpad dominate the access/energy end of
+        the trade-off, while the minimal-footprint end uses fewer pools."""
+        analysis = TradeoffAnalysis(easyport_database)
+        best_accesses = analysis.best_configuration("accesses")
+        best_energy = analysis.best_configuration("energy_nj")
+        assert best_accesses.parameters["num_dedicated_pools"] > 0
+        assert best_energy.parameters["dedicated_pool_placement"] == "scratchpad"
+        best_footprint = analysis.best_configuration("footprint")
+        assert (
+            best_footprint.parameters["num_dedicated_pools"]
+            <= best_accesses.parameters["num_dedicated_pools"]
+        )
+
+    def test_three_level_hierarchy_exploration(self, easyport_trace):
+        hierarchy = embedded_three_level()
+        settings = ExplorationSettings(sample=4)
+        engine = ExplorationEngine(
+            smoke_parameter_space(), easyport_trace, hierarchy=hierarchy, settings=settings
+        )
+        database = engine.explore()
+        assert len(database) == 4
+        assert all(record.metrics.accesses > 0 for record in database)
+
+    def test_vtc_pipeline(self):
+        trace = VTCWorkload(image_width=64, image_height=64).generate(seed=12)
+        engine = ExplorationEngine(smoke_parameter_space(), trace)
+        database = engine.explore()
+        analysis = TradeoffAnalysis(database)
+        assert analysis.pareto_count >= 1
+        assert analysis.metric_tradeoff("accesses").overall_range_factor > 1.0
+
+    def test_pareto_front_respects_feasibility(self, easyport_trace):
+        # Force an infeasible configuration by using a tiny main memory.
+        hierarchy = embedded_two_level(scratchpad_size=4096, main_size=16384)
+        engine = ExplorationEngine(smoke_parameter_space(), easyport_trace, hierarchy=hierarchy)
+        database = engine.explore()
+        front = database.pareto_records()
+        assert all(record.feasible for record in front)

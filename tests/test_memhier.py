@@ -1,0 +1,231 @@
+"""Unit tests for the memory-hierarchy substrate (repro.memhier)."""
+
+import pytest
+
+from repro.allocator.composed import ComposedAllocator
+from repro.allocator.errors import PoolCapacityError
+from repro.allocator.pool import FixedSizePool, GeneralPool
+from repro.memhier.access import breakdown_accesses, footprint_by_level
+from repro.memhier.energy import EnergyModel
+from repro.memhier.hierarchy import (
+    MemoryHierarchy,
+    embedded_three_level,
+    embedded_two_level,
+    flat_main_memory,
+)
+from repro.memhier.mapping import PoolMapping, PoolPlacement
+from repro.memhier.module import (
+    MemoryModule,
+    main_memory,
+    module_from_preset,
+    onchip_sram,
+    scratchpad,
+)
+
+
+class TestMemoryModule:
+    def test_energy_for(self):
+        module = MemoryModule("m", 1024, read_energy_nj=1.0, write_energy_nj=2.0, latency_cycles=5)
+        assert module.energy_for(10, 5) == pytest.approx(10 * 1.0 + 5 * 2.0)
+
+    def test_cycles_for(self):
+        module = MemoryModule("m", 1024, 1.0, 2.0, 5)
+        assert module.cycles_for(7) == 35
+
+    def test_unbounded_module(self):
+        module = MemoryModule("m", None, 1.0, 1.0, 1)
+        assert not module.is_bounded
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryModule("", 10, 1, 1, 1)
+        with pytest.raises(ValueError):
+            MemoryModule("m", 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            MemoryModule("m", 10, -1, 1, 1)
+        with pytest.raises(ValueError):
+            MemoryModule("m", 10, 1, 1, 0)
+        with pytest.raises(ValueError):
+            MemoryModule("m", 10, 1, 1, 1).energy_for(-1, 0)
+
+    def test_presets_ordering(self):
+        l1 = scratchpad()
+        l2 = onchip_sram()
+        dram = main_memory()
+        assert l1.read_energy_nj < l2.read_energy_nj < dram.read_energy_nj
+        assert l1.latency_cycles < l2.latency_cycles < dram.latency_cycles
+
+    def test_module_from_preset(self):
+        module = module_from_preset("x", "sram", 2048)
+        assert module.kind == "sram"
+        assert module.size == 2048
+        with pytest.raises(ValueError):
+            module_from_preset("x", "flash", 2048)
+
+
+class TestMemoryHierarchy:
+    def test_lookup_and_order(self):
+        hierarchy = embedded_two_level()
+        assert hierarchy.fastest.name == "l1_scratchpad"
+        assert hierarchy.background_module.name == "main_memory"
+        assert "l1_scratchpad" in hierarchy
+        assert len(hierarchy) == 2
+
+    def test_unknown_module(self):
+        hierarchy = embedded_two_level()
+        with pytest.raises(KeyError):
+            hierarchy.module("l3_cache")
+
+    def test_duplicate_names_rejected(self):
+        module = scratchpad()
+        with pytest.raises(ValueError):
+            MemoryHierarchy([module, module])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])
+
+    def test_total_capacity(self):
+        hierarchy = embedded_two_level(scratchpad_size=1024, main_size=4096)
+        assert hierarchy.total_capacity() == 5120
+        assert flat_main_memory(main_size=None).total_capacity() is None
+
+    def test_three_level(self):
+        hierarchy = embedded_three_level()
+        assert hierarchy.module_names() == ["l1_scratchpad", "l2_sram", "main_memory"]
+
+    def test_describe_mentions_all_modules(self):
+        text = embedded_three_level().describe()
+        for name in ("l1_scratchpad", "l2_sram", "main_memory"):
+            assert name in text
+
+
+class TestPoolMapping:
+    def test_placement_and_lookup(self):
+        hierarchy = embedded_two_level()
+        mapping = PoolMapping(hierarchy)
+        mapping.place_pool("hot", "l1_scratchpad", 1024)
+        mapping.place_pool("cold", "main_memory")
+        assert mapping.module_of("hot").name == "l1_scratchpad"
+        assert mapping.module_of("cold").name == "main_memory"
+
+    def test_unplaced_pool_defaults_to_background(self):
+        mapping = PoolMapping(embedded_two_level())
+        assert mapping.module_of("anything").name == "main_memory"
+
+    def test_address_spaces_are_disjoint_across_modules(self):
+        mapping = PoolMapping(embedded_two_level())
+        mapping.place_pool("hot", "l1_scratchpad", 1024)
+        mapping.place_pool("cold", "main_memory", 1024)
+        hot_space = mapping.address_space_for("hot")
+        cold_space = mapping.address_space_for("cold")
+        assert hot_space.base != cold_space.base
+        hot_range = hot_space.grow(1024)
+        cold_range = cold_space.grow(1024)
+        assert not hot_range.overlaps(cold_range)
+
+    def test_capacity_enforced(self):
+        mapping = PoolMapping(embedded_two_level(scratchpad_size=1024))
+        with pytest.raises(PoolCapacityError):
+            mapping.place_pool("huge", "l1_scratchpad", 2048)
+
+    def test_over_reservation_across_pools(self):
+        mapping = PoolMapping(embedded_two_level(scratchpad_size=1024))
+        mapping.place_pool("a", "l1_scratchpad", 600)
+        mapping.place_pool("b", "l1_scratchpad", 600)
+        with pytest.raises(PoolCapacityError):
+            mapping.validate_reservations()
+
+    def test_duplicate_placement_rejected(self):
+        mapping = PoolMapping(embedded_two_level())
+        mapping.place_pool("a", "main_memory")
+        with pytest.raises(ValueError):
+            mapping.place(PoolPlacement("a", "main_memory"))
+
+    def test_unknown_module_rejected(self):
+        mapping = PoolMapping(embedded_two_level())
+        with pytest.raises(KeyError):
+            mapping.place_pool("a", "l9_cache")
+
+    def test_pools_on(self):
+        mapping = PoolMapping(embedded_two_level())
+        mapping.place_pool("a", "l1_scratchpad", 128)
+        mapping.place_pool("b", "main_memory")
+        assert mapping.pools_on("l1_scratchpad") == ["a"]
+
+    def test_describe(self):
+        mapping = PoolMapping(embedded_two_level())
+        mapping.place_pool("a", "l1_scratchpad", 128)
+        assert "l1_scratchpad" in mapping.describe()
+
+
+class TestAccessBreakdown:
+    def make_setup(self):
+        hierarchy = embedded_two_level()
+        mapping = PoolMapping(hierarchy)
+        mapping.place_pool("hot", "l1_scratchpad", 8192)
+        mapping.place_pool("general", "main_memory")
+        hot = FixedSizePool("hot", 64, address_space=mapping.address_space_for("hot"))
+        general = GeneralPool("general", address_space=mapping.address_space_for("general"))
+        allocator = ComposedAllocator([hot, general])
+        return allocator, mapping
+
+    def test_accesses_attributed_to_levels(self):
+        allocator, mapping = self.make_setup()
+        a = allocator.malloc(64)
+        b = allocator.malloc(300)
+        allocator.free(a)
+        allocator.free(b)
+        breakdown = breakdown_accesses(allocator, mapping)
+        assert breakdown.level("l1_scratchpad").total > 0
+        assert breakdown.level("main_memory").total > 0
+        pool_total = allocator.stats.total_accesses
+        assert breakdown.total == pool_total + allocator.dispatch_accesses
+
+    def test_footprint_by_level(self):
+        allocator, mapping = self.make_setup()
+        allocator.malloc(64)
+        allocator.malloc(300)
+        footprints = footprint_by_level(allocator, mapping)
+        assert footprints["l1_scratchpad"] > 0
+        assert footprints["main_memory"] > 0
+
+
+class TestEnergyModel:
+    def test_energy_prefers_scratchpad(self):
+        hierarchy = embedded_two_level()
+        model = EnergyModel(hierarchy)
+        allocator_hot, mapping_hot = self._setup(hierarchy, "l1_scratchpad")
+        allocator_cold, mapping_cold = self._setup(hierarchy, "main_memory")
+        for allocator in (allocator_hot, allocator_cold):
+            for _ in range(50):
+                allocator.free(allocator.malloc(64))
+        hot_breakdown = breakdown_accesses(allocator_hot, mapping_hot)
+        cold_breakdown = breakdown_accesses(allocator_cold, mapping_cold)
+        assert model.dynamic_energy_nj(hot_breakdown) < model.dynamic_energy_nj(cold_breakdown)
+
+    @staticmethod
+    def _setup(hierarchy, module_name):
+        mapping = PoolMapping(hierarchy)
+        mapping.place_pool("p", module_name, 8192)
+        pool = FixedSizePool("p", 64, address_space=mapping.address_space_for("p"))
+        return ComposedAllocator([pool]), mapping
+
+    def test_execution_cycles_include_cpu_overhead(self):
+        hierarchy = embedded_two_level()
+        model = EnergyModel(hierarchy, cpu_overhead_cycles=100)
+        allocator, mapping = self._setup(hierarchy, "main_memory")
+        allocator.malloc(64)
+        breakdown = breakdown_accesses(allocator, mapping)
+        assert model.execution_cycles(breakdown, 10) == model.memory_cycles(breakdown) + 1000
+
+    def test_static_energy_scales_with_footprint(self):
+        model = EnergyModel(embedded_two_level(), static_nj_per_byte=0.5)
+        assert model.static_energy_nj({"main_memory": 100}) == pytest.approx(50.0)
+
+    def test_invalid_operation_count(self):
+        model = EnergyModel(embedded_two_level())
+        with pytest.raises(ValueError):
+            model.cpu_energy_nj(-1)
+        with pytest.raises(ValueError):
+            model.execution_cycles(None, -1)  # type: ignore[arg-type]

@@ -1,0 +1,140 @@
+"""Unit tests for the parameter space (repro.core.parameters, repro.core.space)."""
+
+import pytest
+
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.core.space import (
+    compact_parameter_space,
+    default_parameter_space,
+    easyport_parameter_space,
+    smoke_parameter_space,
+    vtc_parameter_space,
+)
+
+
+class TestParameter:
+    def test_basic_properties(self):
+        parameter = Parameter("fit", ("first_fit", "best_fit"))
+        assert len(parameter) == 2
+        assert parameter.index_of("best_fit") == 1
+
+    def test_values_are_frozen(self):
+        parameter = Parameter("fit", ["a", "b"])
+        assert isinstance(parameter.values, tuple)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("fit", ())
+        with pytest.raises(ValueError):
+            Parameter("", (1,))
+
+
+class TestParameterSpace:
+    def make_space(self):
+        space = ParameterSpace()
+        space.add_array("a", [1, 2, 3])
+        space.add_array("b", ["x", "y"])
+        space.add_array("c", [True, False])
+        return space
+
+    def test_size_is_product(self):
+        assert self.make_space().size() == 12
+
+    def test_enumeration_yields_every_point_once(self):
+        space = self.make_space()
+        points = list(space.points())
+        assert len(points) == 12
+        assert len({tuple(sorted(point.items())) for point in points}) == 12
+
+    def test_enumeration_is_deterministic(self):
+        first = list(self.make_space().points())
+        second = list(self.make_space().points())
+        assert first == second
+
+    def test_point_at_matches_enumeration(self):
+        space = self.make_space()
+        points = list(space.points())
+        for index in range(space.size()):
+            assert space.point_at(index) == points[index]
+
+    def test_index_of_inverts_point_at(self):
+        space = self.make_space()
+        for index in range(space.size()):
+            assert space.index_of(space.point_at(index)) == index
+
+    def test_point_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.make_space().point_at(12)
+        with pytest.raises(IndexError):
+            self.make_space().point_at(-1)
+
+    def test_sampling_deterministic_and_unique(self):
+        space = self.make_space()
+        sample = space.sample(5, seed=3)
+        assert sample == space.sample(5, seed=3)
+        assert len({tuple(sorted(point.items())) for point in sample}) == 5
+
+    def test_sampling_capped_at_size(self):
+        assert len(self.make_space().sample(1000, seed=0)) == 12
+
+    def test_validate_point(self):
+        space = self.make_space()
+        space.validate_point({"a": 1, "b": "x", "c": True})
+        with pytest.raises(ValueError):
+            space.validate_point({"a": 1, "b": "x"})
+        with pytest.raises(ValueError):
+            space.validate_point({"a": 99, "b": "x", "c": True})
+        with pytest.raises(ValueError):
+            space.validate_point({"a": 1, "b": "x", "c": True, "d": 7})
+
+    def test_duplicate_parameter_rejected(self):
+        space = self.make_space()
+        with pytest.raises(ValueError):
+            space.add_array("a", [9])
+
+    def test_lookup(self):
+        space = self.make_space()
+        assert space.parameter("b").values == ("x", "y")
+        assert "a" in space
+        with pytest.raises(KeyError):
+            space.parameter("zzz")
+
+    def test_round_trip_dict(self):
+        space = self.make_space()
+        rebuilt = ParameterSpace.from_dict(space.as_dict())
+        assert rebuilt.size() == space.size()
+        assert list(rebuilt.points()) == list(space.points())
+
+    def test_describe_lists_all_parameters(self):
+        text = self.make_space().describe()
+        for name in ("a", "b", "c"):
+            assert name in text
+
+    def test_empty_space(self):
+        assert ParameterSpace().size() == 1
+        assert list(ParameterSpace().points()) == []
+
+
+class TestPredefinedSpaces:
+    def test_default_space_is_tens_of_thousands(self):
+        size = default_parameter_space().size()
+        assert 10_000 <= size <= 100_000
+
+    def test_compact_space_is_ci_sized(self):
+        size = compact_parameter_space().size()
+        assert 50 <= size <= 1000
+
+    def test_smoke_space_is_tiny(self):
+        assert smoke_parameter_space().size() <= 32
+
+    def test_spaces_share_parameter_names(self):
+        default_names = set(default_parameter_space().names())
+        assert set(compact_parameter_space().names()) == default_names
+        assert set(smoke_parameter_space().names()) == default_names
+
+    def test_case_study_spaces(self):
+        assert easyport_parameter_space().size() >= vtc_parameter_space().size()
+
+    def test_negative_dedicated_pools_rejected(self):
+        with pytest.raises(ValueError):
+            default_parameter_space(max_dedicated_pools=-1)

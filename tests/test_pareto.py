@@ -1,0 +1,152 @@
+"""Unit tests for the Pareto machinery (repro.core.pareto)."""
+
+import pytest
+
+from repro.core.pareto import (
+    dominates,
+    hypervolume_2d,
+    knee_point,
+    non_dominated,
+    pareto_front,
+    pareto_front_indices,
+    pareto_rank,
+    sort_front,
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestNonDominated:
+    def test_simple_front(self):
+        vectors = [(1, 4), (2, 2), (4, 1), (3, 3), (5, 5)]
+        assert set(non_dominated(vectors)) == {0, 1, 2}
+
+    def test_single_point(self):
+        assert non_dominated([(1, 1)]) == [0]
+
+    def test_all_on_front(self):
+        vectors = [(1, 3), (2, 2), (3, 1)]
+        assert non_dominated(vectors) == [0, 1, 2]
+
+    def test_duplicates_both_kept(self):
+        vectors = [(1, 1), (1, 1), (2, 2)]
+        assert set(non_dominated(vectors)) == {0, 1}
+
+    def test_empty(self):
+        assert non_dominated([]) == []
+
+    def test_three_objectives(self):
+        vectors = [(1, 1, 1), (2, 2, 2), (1, 2, 0)]
+        front = set(non_dominated(vectors))
+        assert 0 in front and 2 in front and 1 not in front
+
+
+class TestParetoFront:
+    def test_front_members_mutually_non_dominated(self):
+        items = [(1, 4), (2, 2), (4, 1), (3, 3), (2, 5), (5, 2)]
+        front = pareto_front(items, key=lambda item: item)
+        for first in front:
+            for second in front:
+                assert not dominates(first, second)
+
+    def test_front_dominates_or_ties_everything_else(self):
+        items = [(1, 4), (2, 2), (4, 1), (3, 3), (2, 5), (5, 2)]
+        front = pareto_front(items, key=lambda item: item)
+        others = [item for item in items if item not in front]
+        for other in others:
+            assert any(dominates(member, other) for member in front)
+
+    def test_indices_variant(self):
+        items = [(1, 4), (0, 5), (9, 9)]
+        indices = pareto_front_indices(items, key=lambda item: item)
+        assert 2 not in indices
+
+    def test_key_function(self):
+        items = [{"a": 1, "b": 4}, {"a": 2, "b": 2}, {"a": 5, "b": 5}]
+        front = pareto_front(items, key=lambda item: (item["a"], item["b"]))
+        assert {"a": 5, "b": 5} not in front
+
+
+class TestParetoRank:
+    def test_rank_zero_is_the_front(self):
+        vectors = [(1, 4), (2, 2), (4, 1), (3, 3), (5, 5)]
+        ranks = pareto_rank(vectors)
+        front = set(non_dominated(vectors))
+        for index, rank in enumerate(ranks):
+            assert (rank == 0) == (index in front)
+
+    def test_layering(self):
+        vectors = [(1, 1), (2, 2), (3, 3)]
+        assert pareto_rank(vectors) == [0, 1, 2]
+
+    def test_empty(self):
+        assert pareto_rank([]) == []
+
+
+class TestSortFront:
+    def test_sorted_by_requested_objective(self):
+        items = [(3, 1), (1, 3), (2, 2)]
+        by_x = sort_front(items, key=lambda item: item, objective_index=0)
+        assert [item[0] for item in by_x] == [1, 2, 3]
+        by_y = sort_front(items, key=lambda item: item, objective_index=1)
+        assert [item[1] for item in by_y] == [1, 2, 3]
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(1, 1)], reference=(3, 3)) == pytest.approx(4.0)
+
+    def test_two_points(self):
+        value = hypervolume_2d([(1, 2), (2, 1)], reference=(3, 3))
+        assert value == pytest.approx(3.0)
+
+    def test_dominated_point_does_not_add_area(self):
+        base = hypervolume_2d([(1, 1)], reference=(3, 3))
+        extended = hypervolume_2d([(1, 1), (2, 2)], reference=(3, 3))
+        assert extended == pytest.approx(base)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume_2d([(4, 4)], reference=(3, 3)) == 0.0
+
+    def test_bigger_front_bigger_volume(self):
+        small = hypervolume_2d([(2, 2)], reference=(4, 4))
+        large = hypervolume_2d([(1, 2), (2, 1)], reference=(4, 4))
+        assert large > small
+
+    def test_invalid_reference(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d([(1, 1)], reference=(1, 2, 3))
+
+
+class TestKneePoint:
+    def test_balanced_point_chosen(self):
+        items = [(1, 10), (10, 1), (4, 4)]
+        assert knee_point(items, key=lambda item: item) == (4, 4)
+
+    def test_empty(self):
+        assert knee_point([], key=lambda item: item) is None
+
+    def test_single(self):
+        assert knee_point([(2, 2)], key=lambda item: item) == (2, 2)
+
+    def test_degenerate_dimension(self):
+        # One objective has zero span; the knee is still well defined.
+        items = [(1, 5), (2, 5), (3, 5)]
+        assert knee_point(items, key=lambda item: item) == (1, 5)

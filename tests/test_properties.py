@@ -1,0 +1,293 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Four families of invariants:
+
+* allocator correctness: no double-hand-out of live addresses, footprint is
+  always at least the live gross bytes, accounting balances after any legal
+  alloc/free sequence — for every pool type and policy combination;
+* Pareto extraction: front members are mutually non-dominated and every
+  non-member is dominated by some member;
+* parameter spaces: enumeration size equals the product of array lengths,
+  ``point_at``/``index_of`` are inverse bijections;
+* round-trips: traces and profiling logs survive write/parse cycles.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.allocator.blocks import gross_block_size
+from repro.allocator.coalescing import coalescing_policy_names
+from repro.allocator.composed import ComposedAllocator
+from repro.allocator.fit import fit_policy_names
+from repro.allocator.freelist import free_list_policy_names
+from repro.allocator.pool import FixedSizePool, GeneralPool
+from repro.allocator.splitting import splitting_policy_names
+from repro.core.pareto import dominates, non_dominated, pareto_rank
+from repro.core.parameters import ParameterSpace
+from repro.profiling.events import alloc, free
+from repro.profiling.logformat import log_to_string
+from repro.profiling.metrics import LevelMetrics, MetricSet, ProfileResult
+from repro.profiling.parser import parse_log_text
+from repro.profiling.tracer import AllocationTrace
+from repro.workloads.traces import load_trace, round_trip_equal, save_trace
+
+# ---------------------------------------------------------------------------
+# Allocator invariants
+# ---------------------------------------------------------------------------
+
+#: An operation script: each entry is (size, free_after_n_more_ops).
+operation_scripts = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=2048), st.integers(0, 10)),
+    min_size=1,
+    max_size=60,
+)
+
+policy_combinations = st.tuples(
+    st.sampled_from(free_list_policy_names()),
+    st.sampled_from(fit_policy_names()),
+    st.sampled_from(coalescing_policy_names()),
+    st.sampled_from(splitting_policy_names()),
+)
+
+
+def run_script(pool, script):
+    """Replay an allocation script; returns the set of live addresses."""
+    live = []
+    for step, (size, hold) in enumerate(script):
+        address = pool.allocate(size)
+        live.append((address, step + hold))
+        still_live = []
+        for entry in live:
+            if entry[1] <= step:
+                pool.free(entry[0])
+            else:
+                still_live.append(entry)
+        live = still_live
+    return {address for address, _ in live}
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(script=operation_scripts, policies=policy_combinations)
+def test_general_pool_invariants(script, policies):
+    free_list, fit, coalescing, splitting = policies
+    pool = GeneralPool(
+        "prop",
+        free_list=free_list,
+        fit=fit,
+        coalescing=coalescing,
+        splitting=splitting,
+        chunk_size=1024,
+    )
+    live_addresses = run_script(pool, script)
+    # Live bookkeeping matches the script's surviving allocations.
+    assert pool.live_blocks == len(live_addresses)
+    # The pool never hands out more memory than it reserved.
+    assert pool.stats.live_gross <= pool.stats.footprint
+    # Footprint never exceeds its own peak.
+    assert pool.stats.footprint <= pool.stats.peak_footprint
+    # Accounting balances.
+    assert pool.stats.alloc_ops - pool.stats.free_ops == pool.live_blocks
+    # Live blocks never overlap.
+    blocks = sorted(pool._live.values(), key=lambda block: block.address)
+    for first, second in zip(blocks, blocks[1:]):
+        assert first.end <= second.address
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=80),
+)
+def test_fixed_pool_unique_addresses(sizes):
+    pool = FixedSizePool("prop", 64)
+    addresses = [pool.allocate(size) for size in sizes]
+    # No address handed out twice while live.
+    assert len(set(addresses)) == len(addresses)
+    for address in addresses:
+        pool.free(address)
+    assert pool.live_blocks == 0
+    assert pool.stats.live_payload == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=operation_scripts, policies=policy_combinations)
+def test_composed_allocator_invariants(script, policies):
+    free_list, fit, coalescing, splitting = policies
+    dedicated = FixedSizePool("d64", 64, strict=True)
+    general = GeneralPool(
+        "general", free_list=free_list, fit=fit, coalescing=coalescing, splitting=splitting
+    )
+    allocator = ComposedAllocator([dedicated, general])
+    live = []
+    for step, (size, hold) in enumerate(script):
+        address = allocator.malloc(size)
+        live.append((address, step + hold))
+        survivors = []
+        for entry in live:
+            if entry[1] <= step:
+                allocator.free(entry[0])
+            else:
+                survivors.append(entry)
+        live = survivors
+    assert allocator.live_blocks == len(live)
+    assert allocator.total_footprint >= sum(
+        gross_block_size(1) for _ in live
+    ) or not live
+    # 64-byte requests must be served by the dedicated pool first.
+    if any(size == 64 for size, _hold in script):
+        assert allocator.pool_named("d64").stats.alloc_ops > 0
+
+
+# ---------------------------------------------------------------------------
+# Pareto invariants
+# ---------------------------------------------------------------------------
+
+metric_vectors = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(vectors=metric_vectors)
+def test_pareto_front_is_mutually_non_dominated(vectors):
+    front = non_dominated(vectors)
+    for i in front:
+        for j in front:
+            assert not dominates(vectors[i], vectors[j])
+
+
+@settings(max_examples=100, deadline=None)
+@given(vectors=metric_vectors)
+def test_every_non_member_is_dominated(vectors):
+    front = set(non_dominated(vectors))
+    for index, vector in enumerate(vectors):
+        if index in front:
+            continue
+        assert any(dominates(vectors[member], vector) for member in front)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors=metric_vectors)
+def test_pareto_rank_zero_matches_front(vectors):
+    ranks = pareto_rank(vectors)
+    front = set(non_dominated(vectors))
+    assert {index for index, rank in enumerate(ranks) if rank == 0} == front
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors=metric_vectors)
+def test_adding_a_dominated_point_does_not_change_the_front(vectors):
+    front_before = {tuple(vectors[i]) for i in non_dominated(vectors)}
+    worst = tuple(max(v[d] for v in vectors) + 1 for d in range(3))
+    front_after = {
+        tuple((vectors + [worst])[i]) for i in non_dominated(vectors + [worst])
+    }
+    assert front_before == front_after
+
+
+# ---------------------------------------------------------------------------
+# Parameter-space invariants
+# ---------------------------------------------------------------------------
+
+parameter_arrays = st.lists(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=4, unique=True),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrays=parameter_arrays)
+def test_space_size_is_product_of_array_lengths(arrays):
+    space = ParameterSpace()
+    for index, values in enumerate(arrays):
+        space.add_array(f"p{index}", values)
+    expected = 1
+    for values in arrays:
+        expected *= len(values)
+    assert space.size() == expected
+    assert len(list(space.points())) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrays=parameter_arrays, data=st.data())
+def test_point_at_and_index_of_are_inverse(arrays, data):
+    space = ParameterSpace()
+    for index, values in enumerate(arrays):
+        space.add_array(f"p{index}", values)
+    index = data.draw(st.integers(min_value=0, max_value=space.size() - 1))
+    point = space.point_at(index)
+    assert space.index_of(point) == index
+    space.validate_point(point)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def valid_traces(draw):
+    """Generate well-formed traces (every free follows its alloc)."""
+    count = draw(st.integers(min_value=1, max_value=30))
+    events = []
+    timestamp = 0
+    live = []
+    for request_id in range(count):
+        size = draw(st.integers(min_value=1, max_value=4096))
+        events.append(alloc(request_id, size, timestamp))
+        live.append(request_id)
+        timestamp += 1
+        if live and draw(st.booleans()):
+            victim = live.pop(draw(st.integers(min_value=0, max_value=len(live) - 1)))
+            events.append(free(victim, timestamp))
+            timestamp += 1
+    for victim in live:
+        events.append(free(victim, timestamp))
+    return AllocationTrace(events, name="prop")
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=valid_traces())
+def test_generated_traces_are_valid(trace):
+    trace.validate()
+    summary = trace.summary()
+    assert summary.leaked_blocks == 0
+    assert summary.alloc_count == summary.free_count
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(trace=valid_traces())
+def test_trace_file_round_trip(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "trace.txt"
+    save_trace(trace, path)
+    assert round_trip_equal(trace, load_trace(path))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    accesses=st.integers(min_value=0, max_value=10**9),
+    footprint=st.integers(min_value=0, max_value=10**9),
+    energy=st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    cycles=st.integers(min_value=0, max_value=10**12),
+)
+def test_profiling_log_round_trip(accesses, footprint, energy, cycles):
+    result = ProfileResult(configuration_id="cfg", trace_name="t")
+    result.totals = MetricSet(
+        accesses=accesses, footprint=footprint, energy_nj=energy, cycles=cycles
+    )
+    result.per_level["main_memory"] = LevelMetrics(
+        "main_memory", reads=accesses // 2, writes=accesses - accesses // 2,
+        footprint=footprint, energy_nj=energy,
+    )
+    parsed = parse_log_text(log_to_string([result]))
+    restored = parsed.result_for("cfg")
+    assert restored.totals.accesses == accesses
+    assert restored.totals.footprint == footprint
+    assert restored.totals.cycles == cycles
+    assert abs(restored.totals.energy_nj - energy) <= max(1e-6, energy * 1e-6)

@@ -1,0 +1,161 @@
+"""Unit tests for reporting, ASCII plots, CSV/gnuplot export and the dashboard."""
+
+import pytest
+
+from repro.core.exploration import ExplorationEngine
+from repro.core.reporting import (
+    describe_record,
+    exploration_report,
+    format_metric_value,
+    pareto_listing,
+    tradeoff_table,
+)
+from repro.core.space import smoke_parameter_space
+from repro.core.tradeoff import TradeoffAnalysis
+from repro.gui.ascii_plots import histogram, pareto_plot, scatter_plot
+from repro.gui.excel import (
+    export_all_configurations,
+    export_pareto_configurations,
+    export_tradeoff_summary,
+    export_workbook,
+)
+from repro.gui.gnuplot import export_gnuplot, write_gnuplot_data, write_gnuplot_script
+from repro.gui.report import dashboard, export_artifacts
+from repro.workloads.easyport import EasyportWorkload
+
+
+@pytest.fixture(scope="module")
+def database():
+    trace = EasyportWorkload(packets=150).generate(seed=6)
+    return ExplorationEngine(smoke_parameter_space(), trace).explore()
+
+
+class TestFormatting:
+    def test_format_metric_value_units(self):
+        assert format_metric_value("footprint", 512) == "512 B"
+        assert "KB" in format_metric_value("footprint", 4096)
+        assert "MB" in format_metric_value("footprint", 4 << 20)
+        assert "nJ" in format_metric_value("energy_nj", 12.0)
+        assert "uJ" in format_metric_value("energy_nj", 12_000.0)
+        assert "mJ" in format_metric_value("energy_nj", 12_000_000.0)
+        assert "k" in format_metric_value("accesses", 12_000)
+        assert "M" in format_metric_value("cycles", 12_000_000)
+
+    def test_describe_record(self, database):
+        text = describe_record(database[0])
+        assert database[0].configuration_id in text
+        assert "accesses=" in text
+
+
+class TestReports:
+    def test_tradeoff_table_has_all_metrics(self, database):
+        table = tradeoff_table(TradeoffAnalysis(database))
+        for key in ("accesses", "footprint", "energy_nj", "cycles"):
+            assert key in table
+
+    def test_pareto_listing_counts(self, database):
+        analysis = TradeoffAnalysis(database)
+        listing = pareto_listing(analysis)
+        assert f"({analysis.pareto_count})" in listing
+
+    def test_exploration_report_structure(self, database):
+        report = exploration_report(database, title="Easyport smoke")
+        assert "Easyport smoke" in report
+        assert "Pareto-optimal configurations" in report
+        assert "knee point" in report
+
+
+class TestAsciiPlots:
+    def test_scatter_plot_contains_points(self):
+        plot = scatter_plot([(1, 1), (2, 2), (3, 1)], width=20, height=8)
+        assert plot.count(".") >= 2
+        assert "legend" in plot
+
+    def test_pareto_plot_highlights_front(self):
+        plot = pareto_plot([(1, 3), (2, 2), (3, 1), (3, 3)], width=20, height=8)
+        assert "*" in plot
+
+    def test_empty_points(self):
+        assert "no points" in scatter_plot([])
+        assert "no points" in pareto_plot([])
+
+    def test_plot_size_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot([(1, 1)], width=5, height=2)
+
+    def test_histogram(self):
+        text = histogram({64: 10, 128: 5})
+        assert "64" in text and "#" in text
+        assert histogram({}) == "(empty histogram)"
+
+
+class TestCsvExports:
+    def test_export_all(self, tmp_path, database):
+        path = tmp_path / "all.csv"
+        rows = export_all_configurations(database, path)
+        assert rows == len(database)
+        assert path.read_text().count("\n") == rows + 1
+
+    def test_export_pareto(self, tmp_path, database):
+        path = tmp_path / "pareto.csv"
+        rows = export_pareto_configurations(database, path)
+        assert rows == len(database.pareto_records())
+        header = path.read_text().splitlines()[0]
+        assert "configuration_id" in header and "accesses" in header
+
+    def test_export_tradeoff(self, tmp_path, database):
+        path = tmp_path / "tradeoff.csv"
+        rows = export_tradeoff_summary(database, path)
+        assert rows == 4
+        assert "overall_range_factor" in path.read_text()
+
+    def test_export_workbook(self, tmp_path, database):
+        paths = export_workbook(database, tmp_path / "out")
+        assert set(paths) == {"all", "pareto", "tradeoff"}
+        for path in paths.values():
+            assert path.exists()
+
+
+class TestGnuplotExport:
+    def test_data_file_row_count_and_flags(self, tmp_path, database):
+        path = tmp_path / "data.dat"
+        rows = write_gnuplot_data(database, path)
+        lines = path.read_text().splitlines()
+        assert rows == len(database)
+        assert lines[0].startswith("#")
+        flags = {line.split()[-1] for line in lines[1:]}
+        assert flags <= {"0", "1"}
+        assert "1" in flags
+
+    def test_script_references_columns(self, tmp_path, database):
+        data = tmp_path / "data.dat"
+        script = tmp_path / "plot.gp"
+        write_gnuplot_data(database, data)
+        text = write_gnuplot_script(data, script, x_metric="accesses", y_metric="footprint")
+        assert "plot" in text
+        assert str(data) in text
+        assert script.exists()
+
+    def test_script_rejects_unknown_metric(self, tmp_path, database):
+        data = tmp_path / "data.dat"
+        write_gnuplot_data(database, data)
+        with pytest.raises(ValueError):
+            write_gnuplot_script(data, tmp_path / "p.gp", x_metric="latency")
+
+    def test_export_gnuplot_bundle(self, tmp_path, database):
+        data_path, script_path = export_gnuplot(database, tmp_path / "plots")
+        assert data_path.exists() and script_path.exists()
+
+
+class TestDashboard:
+    def test_dashboard_combines_report_and_plot(self, database):
+        text = dashboard(database, title="Smoke dashboard")
+        assert "Smoke dashboard" in text
+        assert "Pareto-optimal" in text
+        assert "+" in text  # the plot frame
+
+    def test_export_artifacts(self, tmp_path, database):
+        paths = export_artifacts(database, tmp_path / "artifacts")
+        assert {"all", "pareto", "tradeoff", "gnuplot_data", "gnuplot_script"} <= set(paths)
+        for path in paths.values():
+            assert path.exists()

@@ -1,0 +1,235 @@
+"""Unit tests for the workload generators and trace I/O."""
+
+import pytest
+
+from repro.profiling.tracer import AllocationTrace
+from repro.workloads.base import TraceBuilder
+from repro.workloads.easyport import (
+    DEFAULT_PACKET_SIZES,
+    EasyportWorkload,
+    easyport_reference_trace,
+)
+from repro.workloads.synthetic import (
+    BurstyWorkload,
+    FixedSizesWorkload,
+    PhasedWorkload,
+    UniformRandomWorkload,
+)
+from repro.workloads.traces import (
+    TraceFormatError,
+    load_trace,
+    round_trip_equal,
+    save_trace,
+)
+from repro.workloads.vtc import (
+    BITSTREAM_SEGMENT_BYTES,
+    TREE_NODE_BYTES,
+    VTCWorkload,
+    vtc_reference_trace,
+)
+
+
+class TestTraceBuilder:
+    def test_scheduled_frees_are_emitted(self):
+        builder = TraceBuilder("t", seed=0)
+        builder.allocate(10, lifetime=2)
+        builder.tick(3)
+        assert builder.flush_due() == 1
+        trace = builder.finish()
+        trace.validate()
+        assert trace.summary().leaked_blocks == 0
+
+    def test_explicit_release(self):
+        builder = TraceBuilder("t")
+        request = builder.allocate(10)
+        builder.tick()
+        builder.release(request)
+        trace = builder.finish()
+        assert trace.summary().free_count == 1
+
+    def test_finish_frees_everything(self):
+        builder = TraceBuilder("t")
+        for _ in range(5):
+            builder.allocate(10, lifetime=1000)
+        trace = builder.finish()
+        assert trace.summary().leaked_blocks == 0
+
+    def test_clock_cannot_go_backwards(self):
+        builder = TraceBuilder("t")
+        with pytest.raises(ValueError):
+            builder.tick(-1)
+
+    def test_negative_lifetime_rejected(self):
+        builder = TraceBuilder("t")
+        with pytest.raises(ValueError):
+            builder.allocate(10, lifetime=-1)
+
+
+class TestEasyportWorkload:
+    def test_trace_is_valid_and_balanced(self):
+        trace = EasyportWorkload(packets=300).generate(seed=1)
+        trace.validate()
+        summary = trace.summary()
+        assert summary.leaked_blocks == 0
+        assert summary.alloc_count > 300  # descriptor + payload per packet
+
+    def test_deterministic_for_same_seed(self):
+        first = EasyportWorkload(packets=200).generate(seed=42)
+        second = EasyportWorkload(packets=200).generate(seed=42)
+        assert round_trip_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = EasyportWorkload(packets=200).generate(seed=1)
+        second = EasyportWorkload(packets=200).generate(seed=2)
+        assert not round_trip_equal(first, second)
+
+    def test_hot_sizes_dominate(self):
+        workload = EasyportWorkload(packets=500)
+        trace = workload.generate(seed=3)
+        histogram = trace.size_histogram()
+        hot = set(DEFAULT_PACKET_SIZES)
+        hot_allocations = sum(count for size, count in histogram.items() if size in hot)
+        assert hot_allocations / sum(histogram.values()) > 0.7
+
+    def test_hot_sizes_listing(self):
+        workload = EasyportWorkload()
+        assert workload.hot_sizes()[0] == 74  # highest weight in the default mix
+
+    def test_reference_trace_fixed_seed(self):
+        assert round_trip_equal(
+            easyport_reference_trace(packets=200), easyport_reference_trace(packets=200)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EasyportWorkload(packets=0)
+        with pytest.raises(ValueError):
+            EasyportWorkload(ports=0)
+        with pytest.raises(ValueError):
+            EasyportWorkload(control_ratio=2.0)
+        with pytest.raises(ValueError):
+            EasyportWorkload(packet_sizes={})
+
+    def test_describe(self):
+        assert "Easyport" in EasyportWorkload().describe()
+
+
+class TestVTCWorkload:
+    def test_trace_is_valid_and_balanced(self):
+        trace = VTCWorkload(image_width=64, image_height=64).generate(seed=1)
+        trace.validate()
+        assert trace.summary().leaked_blocks == 0
+
+    def test_tree_nodes_dominate_allocations(self):
+        trace = VTCWorkload(image_width=128, image_height=128).generate(seed=1)
+        histogram = trace.size_histogram()
+        node_allocations = sum(
+            count
+            for size, count in histogram.items()
+            if TREE_NODE_BYTES <= size <= TREE_NODE_BYTES + 8
+        )
+        assert node_allocations / sum(histogram.values()) > 0.5
+
+    def test_scales_with_image_size(self):
+        small = VTCWorkload(image_width=64, image_height=64).generate(seed=1)
+        large = VTCWorkload(image_width=256, image_height=256).generate(seed=1)
+        assert len(large) > len(small)
+
+    def test_deterministic(self):
+        first = VTCWorkload(image_width=64, image_height=64).generate(seed=9)
+        second = VTCWorkload(image_width=64, image_height=64).generate(seed=9)
+        assert round_trip_equal(first, second)
+
+    def test_hot_sizes(self):
+        assert TREE_NODE_BYTES in VTCWorkload().hot_sizes()
+        assert BITSTREAM_SEGMENT_BYTES in VTCWorkload().hot_sizes()
+
+    def test_reference_trace(self):
+        trace = vtc_reference_trace(image_size=64)
+        trace.validate()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VTCWorkload(image_width=0)
+        with pytest.raises(ValueError):
+            VTCWorkload(wavelet_levels=0)
+        with pytest.raises(ValueError):
+            VTCWorkload(coefficients_per_node=0)
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            UniformRandomWorkload(operations=300),
+            FixedSizesWorkload(operations=300),
+            BurstyWorkload(bursts=4, burst_length=30),
+            PhasedWorkload(),
+        ],
+        ids=["uniform", "fixed", "bursty", "phased"],
+    )
+    def test_traces_valid_and_deterministic(self, workload):
+        first = workload.generate(seed=5)
+        second = workload.generate(seed=5)
+        first.validate()
+        assert first.summary().leaked_blocks == 0
+        assert round_trip_equal(first, second)
+
+    def test_fixed_sizes_only_uses_declared_sizes(self):
+        workload = FixedSizesWorkload(sizes=[32, 64], operations=200)
+        histogram = workload.generate(seed=1).size_histogram()
+        assert set(histogram) <= {32, 64}
+
+    def test_bursty_peaks_exceed_steady_state(self):
+        trace = BurstyWorkload(bursts=3, burst_length=50, quiet_length=50).generate(seed=1)
+        profile = [live for _ts, live in trace.live_profile()]
+        assert max(profile) > 0
+        assert profile[-1] == 0
+
+    def test_fixed_sizes_validation(self):
+        with pytest.raises(ValueError):
+            FixedSizesWorkload(sizes=[])
+        with pytest.raises(ValueError):
+            FixedSizesWorkload(sizes=[1, 2], weights=[1.0])
+
+    def test_describe_strings(self):
+        assert "uniform" in UniformRandomWorkload().describe()
+        assert "phase" in PhasedWorkload().describe()
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = EasyportWorkload(packets=100).generate(seed=4)
+        path = tmp_path / "easyport.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert round_trip_equal(trace, loaded)
+        assert loaded.name == trace.name
+
+    def test_tags_preserved(self, tmp_path):
+        trace = VTCWorkload(image_width=64, image_height=64).generate(seed=4)
+        path = tmp_path / "vtc.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert any(event.tag for event in loaded)
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("A 1\nF\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("Z 1 2 3\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_round_trip_equal_detects_differences(self):
+        first = AllocationTrace(name="a")
+        second = AllocationTrace(name="b")
+        assert round_trip_equal(first, second)
+        from repro.profiling.events import alloc
+
+        first.append(alloc(0, 8))
+        assert not round_trip_equal(first, second)
