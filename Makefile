@@ -1,0 +1,11 @@
+PYTHON ?= python
+
+# Tier-1 verification: the whole test + benchmark suite, collection included.
+verify:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
+
+# Benchmark tables only (the reproduction artefacts).
+bench:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+.PHONY: verify bench

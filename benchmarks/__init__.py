@@ -1,0 +1,10 @@
+"""Benchmark harness package.
+
+Making ``benchmarks/`` a real package lets its modules use
+``from .common import ...`` under pytest's default (prepend) import mode:
+pytest imports each ``benchmarks/test_*.py`` as ``benchmarks.test_*`` with
+the repository root on ``sys.path`` (the root ``conftest.py`` lives there),
+so the relative imports resolve and ``python -m pytest -x -q`` collects the
+suite instead of dying with "attempted relative import with no known parent
+package".
+"""

@@ -3,15 +3,21 @@
 The paper's claim of scale: the automation gives designers "a real choice
 between tens of thousands of highly customized DM allocators".  This
 benchmark checks the size of the default parameter space, measures how fast
-the tool enumerates it and constructs allocators from its points, and
-measures the per-configuration profiling cost — together these determine
-how long an exhaustive run of the full space would take.
+the tool enumerates it and constructs allocators from its points, measures
+the per-configuration profiling cost — together these determine how long an
+exhaustive run of the full space would take — and compares serial against
+process-pool point evaluation, the knob that turns the paper's "night of
+simulation" into ``wall-clock / cores``.
 
 Run with ``pytest benchmarks/test_exploration_scale.py --benchmark-only -s``.
 """
 
+import os
+import time
+
 import pytest
 
+from repro.core.exploration import ProcessPoolBackend, SerialBackend
 from repro.core.factory import AllocatorFactory
 from repro.core.space import default_parameter_space
 from repro.memhier.hierarchy import embedded_two_level
@@ -70,3 +76,62 @@ def test_per_configuration_profiling_cost(benchmark):
     ]
     print_table("Per-configuration simulation cost", rows, ("quantity", "measured", "paper"))
     assert record.metrics.accesses > 0
+
+
+def test_serial_vs_parallel_evaluation(benchmark, request):
+    """Experiment PAR-BACKEND: wall-clock of serial vs process-pool evaluation.
+
+    Evaluates the same batch of configurations through a
+    :class:`SerialBackend` (timed directly) and a warmed
+    :class:`ProcessPoolBackend` (the benchmarked quantity), checks the two
+    backends agree metric-for-metric, and reports the speedup.  The speedup
+    assertion only applies on multi-core machines **and** in dedicated
+    benchmark runs (``--benchmark-only``): when the file executes as an
+    ordinary test inside tier-1 CI, a loaded shared runner must not be able
+    to fail the build on timing noise.
+    """
+    jobs = min(4, os.cpu_count() or 1)
+    engine = easyport_engine(sample=None, compact=True)
+    points = [engine.space.point_at(index) for index in range(24)]
+    items = [(point, f"cfg{index:05d}") for index, point in enumerate(points)]
+
+    serial_backend = SerialBackend()
+    serial_start = time.perf_counter()
+    serial_records = serial_backend.evaluate(engine, items)
+    serial_seconds = time.perf_counter() - serial_start
+
+    pool = ProcessPoolBackend(jobs=jobs)
+    try:
+        # Warm the pool outside the measured region: forking workers and
+        # shipping the engine is a one-off cost an exploration pays once.
+        # (Two items, because a one-item batch short-circuits to in-process
+        # evaluation and would leave the pool cold.)
+        pool.evaluate(engine, items[:2])
+        parallel_records = benchmark.pedantic(
+            pool.evaluate, args=(engine, items), rounds=1, iterations=1
+        )
+    finally:
+        pool.close()
+    parallel_seconds = benchmark.stats.stats.mean
+
+    assert len(parallel_records) == len(serial_records)
+    for serial_record, parallel_record in zip(serial_records, parallel_records):
+        assert serial_record.metrics == parallel_record.metrics
+        assert serial_record.configuration_id == parallel_record.configuration_id
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    rows = [
+        ("configurations evaluated", len(items), "-"),
+        ("worker processes", jobs, "-"),
+        ("serial wall-clock", f"{serial_seconds:.2f} s", "a night of simulation"),
+        ("parallel wall-clock", f"{parallel_seconds:.2f} s", "-"),
+        ("speedup", f"x{speedup:.2f}", "~linear in cores"),
+    ]
+    print_table(
+        "Serial vs parallel point evaluation", rows, ("quantity", "measured", "paper")
+    )
+    dedicated_run = request.config.getoption("--benchmark-only", default=False)
+    if dedicated_run and (os.cpu_count() or 1) >= 2 and jobs >= 2:
+        # Generous bound: even half the ideal speedup clears it easily, but a
+        # parallel path that regressed to serial-or-worse fails.
+        assert parallel_seconds < serial_seconds * 0.9

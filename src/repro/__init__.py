@@ -34,13 +34,16 @@ Quick start::
 from .core import (
     AllocatorConfiguration,
     AllocatorFactory,
+    EvaluationBackend,
     ExplorationEngine,
     ExplorationRecord,
     ExplorationSettings,
     Parameter,
     ParameterSpace,
     PoolSpec,
+    ProcessPoolBackend,
     ResultDatabase,
+    SerialBackend,
     TradeoffAnalysis,
     build_allocator,
     compact_parameter_space,
@@ -80,6 +83,7 @@ __all__ = [
     "AllocatorFactory",
     "EasyportWorkload",
     "EnergyModel",
+    "EvaluationBackend",
     "ExplorationEngine",
     "ExplorationRecord",
     "ExplorationSettings",
@@ -90,9 +94,11 @@ __all__ = [
     "ParameterSpace",
     "PoolMapping",
     "PoolSpec",
+    "ProcessPoolBackend",
     "ProfileResult",
     "Profiler",
     "ResultDatabase",
+    "SerialBackend",
     "TradeoffAnalysis",
     "VTCWorkload",
     "__version__",

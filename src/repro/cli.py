@@ -18,7 +18,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from .core.exploration import ExplorationEngine, ExplorationSettings
+from .core.exploration import ExplorationEngine, ExplorationSettings, make_backend
 from .core.reporting import describe_record, exploration_report
 from .core.results import ResultDatabase
 from .core.space import (
@@ -56,6 +56,14 @@ HIERARCHIES = {
 }
 
 
+def _jobs_count(text: str) -> int:
+    """argparse type for ``--jobs``: a non-negative worker count."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0 (0 = all CPU cores)")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dmexplore",
@@ -77,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument("--out", type=Path, default=Path("exploration.json"))
     explore_parser.add_argument(
         "--metrics", nargs="+", choices=metric_keys(), default=None
+    )
+    explore_parser.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help=(
+            "evaluate configurations on N worker processes "
+            "(1 = serial, 0 = all CPU cores)"
+        ),
     )
 
     pareto_parser = subparsers.add_parser("pareto", help="list Pareto-optimal configurations")
@@ -109,10 +126,17 @@ def _command_explore(args: argparse.Namespace) -> int:
         sample=args.sample,
         progress_every=max(1, (args.sample or space.size()) // 10),
     )
+    backend = make_backend(args.jobs)  # validated non-negative by the parser
     print(f"workload: {workload.describe()}")
     print(f"space: {space.size()} configurations ({args.space})")
-    engine = ExplorationEngine(space, trace, hierarchy=hierarchy, settings=settings)
-    database = engine.explore()
+    print(f"evaluation backend: {getattr(backend, 'jobs', 1)} job(s)")
+    engine = ExplorationEngine(
+        space, trace, hierarchy=hierarchy, settings=settings, backend=backend
+    )
+    try:
+        database = engine.explore()
+    finally:
+        engine.close()
     database.to_json(args.out)
     print(f"stored {len(database)} results in {args.out}")
     print(exploration_report(database, title=f"{args.workload} exploration"))

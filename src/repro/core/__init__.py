@@ -6,7 +6,16 @@ from .configuration import (
     PoolSpec,
     configuration_from_point,
 )
-from .exploration import ExplorationEngine, ExplorationSettings, explore
+from .exploration import (
+    EvaluationBackend,
+    ExplorationEngine,
+    ExplorationSettings,
+    ProcessPoolBackend,
+    SerialBackend,
+    canonical_point_key,
+    explore,
+    make_backend,
+)
 from .factory import AllocatorFactory, BuiltAllocator, build_allocator
 from .parameters import Parameter, ParameterSpace
 from .pareto import (
@@ -52,10 +61,13 @@ __all__ = [
     "AllocatorConfiguration",
     "AllocatorFactory",
     "BuiltAllocator",
+    "EvaluationBackend",
     "EvolutionarySearch",
     "ExplorationEngine",
     "ExplorationRecord",
     "ExplorationSettings",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "HillClimbSearch",
     "MetricTradeoff",
     "POOL_KINDS",
@@ -69,6 +81,7 @@ __all__ = [
     "TradeoffAnalysis",
     "TradeoffSummary",
     "build_allocator",
+    "canonical_point_key",
     "compact_parameter_space",
     "compare_against_baseline",
     "configuration_from_point",
@@ -81,6 +94,7 @@ __all__ = [
     "format_metric_value",
     "hypervolume_2d",
     "knee_point",
+    "make_backend",
     "non_dominated",
     "pareto_front",
     "pareto_front_indices",

@@ -10,12 +10,35 @@ Given a parameter space, a workload trace and a memory hierarchy, the engine
 
 This is the fully automated loop of Figure 1 of the paper; the GUI/plot
 outputs live in :mod:`repro.gui` and consume the database produced here.
+
+Point evaluations are independent of each other, so the engine delegates
+them to a pluggable :class:`EvaluationBackend`:
+
+* :class:`SerialBackend`      — evaluate in-process, one point at a time
+                                (the default, and the paper's behaviour).
+* :class:`ProcessPoolBackend` — fan batches of points out over a
+                                ``multiprocessing`` worker pool with chunked
+                                dispatch.  Results come back in submission
+                                order, so a parallel run produces a
+                                :class:`ResultDatabase` identical to the
+                                serial one.
+
+Independently of the backend, the engine memoises evaluations by the
+canonicalised parameter point, so heuristic searches that revisit points
+(hill-climb restarts, evolutionary populations) never re-profile the trace;
+the cache hit/miss counters are surfaced on the produced databases.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
-from dataclasses import dataclass, field
+import hashlib
+import math
+import multiprocessing
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
 
 from ..memhier.energy import EnergyModel
 from ..memhier.hierarchy import MemoryHierarchy, embedded_two_level
@@ -40,6 +63,210 @@ class ExplorationSettings:
     label_prefix: str = "cfg"
 
 
+def canonical_point_key(point: dict) -> tuple:
+    """Canonical, hashable form of a parameter point (sorted name/value pairs).
+
+    Two dicts describing the same point — whatever their insertion order —
+    map to the same key; this is the memoisation key of the engine cache.
+    """
+    return tuple(sorted(point.items()))
+
+
+def _cached_copy(record: ExplorationRecord, label: str) -> ExplorationRecord:
+    """Copy a memoised record for a repeat caller, honouring *their* label.
+
+    The cached record carries the label of whoever profiled the point first
+    (e.g. ``hillclimb_000012``); a later caller submitting its own label
+    (e.g. ``evolutionary_000012``) must not record the point under the
+    first caller's identity.  The copy also protects the cache from
+    :meth:`ResultDatabase.add` assigning ``record.index`` in place.
+    """
+    copy = replace(record)
+    if label and copy.configuration.label != label:
+        copy.configuration = replace(copy.configuration, label=label)
+    return copy
+
+
+# -- evaluation backends -----------------------------------------------------
+
+
+@runtime_checkable
+class EvaluationBackend(Protocol):
+    """Strategy object that evaluates a batch of parameter points.
+
+    Implementations must return one :class:`ExplorationRecord` per submitted
+    ``(point, label)`` item, **in submission order** — the engine relies on
+    that to keep parallel runs byte-identical with serial ones.
+    """
+
+    def evaluate(
+        self, engine: "ExplorationEngine", items: Sequence[tuple[dict, str]]
+    ) -> list[ExplorationRecord]:
+        """Profile every ``(point, label)`` item and return ordered records."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+        ...
+
+
+class SerialBackend:
+    """Evaluate points one after the other in the calling process."""
+
+    jobs = 1
+
+    def evaluate(
+        self, engine: "ExplorationEngine", items: Sequence[tuple[dict, str]]
+    ) -> list[ExplorationRecord]:
+        return [engine.run_point(point, label=label) for point, label in items]
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialBackend()"
+
+
+# Per-worker-process engine, installed by the pool initializer.  Module-level
+# because ``multiprocessing`` can only dispatch to importable functions.
+_WORKER_ENGINE: "ExplorationEngine | None" = None
+
+
+def _pool_worker_init(payload: bytes) -> None:
+    """Unpickle the engine once per worker process (not once per task)."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = pickle.loads(payload)
+
+
+def _pool_worker_evaluate(item: tuple[dict, str]) -> ExplorationRecord:
+    """Evaluate one (point, label) item on the worker's private engine."""
+    if _WORKER_ENGINE is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker engine not initialised")
+    point, label = item
+    return _WORKER_ENGINE.run_point(point, label=label)
+
+
+class ProcessPoolBackend:
+    """Evaluate batches of points on a ``multiprocessing`` worker pool.
+
+    The engine (space, trace, hierarchy, energy model) is pickled **once**
+    per worker via the pool initializer; tasks then only carry the point and
+    its label.  ``Pool.map`` with an explicit chunk size gives chunked
+    dispatch and returns results in submission order, which keeps parallel
+    explorations deterministic and byte-identical with serial ones.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Points per dispatched chunk.  Default: batch split into roughly four
+        chunks per worker, a standard latency/imbalance compromise.
+    start_method:
+        ``multiprocessing`` start method (``fork``/``spawn``/``forkserver``);
+        ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.jobs = resolved
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._pool: multiprocessing.pool.Pool | None = None
+        # Digest of the engine state the current workers were pickled from.
+        # Comparing state (not object identity) makes the pool track any
+        # mutation that would change evaluation results — e.g. assigning
+        # ``engine.hot_sizes`` between batches — so parallel runs can never
+        # silently keep profiling against a stale worker snapshot.
+        self._pool_state_digest: bytes | None = None
+
+    # The pool is created lazily on the first batch and kept while the
+    # engine state is unchanged: heuristic searches evaluate many small
+    # generations, and re-forking workers per generation would dominate the
+    # runtime.  Pickling the engine per batch to compute the digest is cheap
+    # next to profiling even one configuration.
+    def _ensure_pool(self, engine: "ExplorationEngine") -> multiprocessing.pool.Pool:
+        payload = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).digest()
+        if self._pool is None or self._pool_state_digest != digest:
+            self.close()
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=self.jobs,
+                initializer=_pool_worker_init,
+                initargs=(payload,),
+            )
+            self._pool_state_digest = digest
+        return self._pool
+
+    def _chunk_size_for(self, batch: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(batch / (self.jobs * 4)))
+
+    def evaluate(
+        self, engine: "ExplorationEngine", items: Sequence[tuple[dict, str]]
+    ) -> list[ExplorationRecord]:
+        items = list(items)
+        if not items:
+            return []
+        if self.jobs == 1 or len(items) == 1:
+            # A pool of one worker only adds IPC overhead.
+            return [engine.run_point(point, label=label) for point, label in items]
+        pool = self._ensure_pool(engine)
+        return pool.map(
+            _pool_worker_evaluate, items, chunksize=self._chunk_size_for(len(items))
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_state_digest = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown order
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolBackend(jobs={self.jobs}, chunk_size={self.chunk_size})"
+
+
+def make_backend(jobs: int | None) -> EvaluationBackend:
+    """Backend for a ``--jobs`` style count.
+
+    ``None`` or ``1`` → :class:`SerialBackend`; ``0`` → a
+    :class:`ProcessPoolBackend` with one worker per CPU core; ``N > 1`` →
+    a pool of ``N`` workers.  Negative counts raise :class:`ValueError`.
+    """
+    if jobs is None or jobs == 1:
+        return SerialBackend()
+    if jobs == 0:
+        return ProcessPoolBackend()
+    return ProcessPoolBackend(jobs=jobs)
+
+
+# -- the engine --------------------------------------------------------------
+
+
 class ExplorationEngine:
     """Drives the explore → profile → Pareto pipeline for one workload trace."""
 
@@ -52,6 +279,7 @@ class ExplorationEngine:
         settings: ExplorationSettings | None = None,
         energy_model: EnergyModel | None = None,
         progress_callback: Callable[[int, int], None] | None = None,
+        backend: EvaluationBackend | None = None,
     ) -> None:
         self.space = space
         self.trace = trace
@@ -59,11 +287,34 @@ class ExplorationEngine:
         self.settings = settings or ExplorationSettings()
         self.energy_model = energy_model or EnergyModel(self.hierarchy)
         self.progress_callback = progress_callback
+        self.backend = backend or SerialBackend()
         # The hot block sizes drive which dedicated pools a configuration can
         # create; by default they are derived from the trace itself, exactly
         # as the paper's profiling pass would.
         self.hot_sizes = hot_sizes or trace.hot_sizes(top=8)
         self.factory = AllocatorFactory(self.hierarchy)
+        # Point-level memoisation: canonical point -> record, plus counters.
+        self._point_cache: dict[tuple, ExplorationRecord] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # Worker processes receive a pickled copy of the engine; the progress
+    # callback may be a closure (unpicklable) and is meaningless off-process,
+    # and shipping the parent's backend or cache along would be wasteful —
+    # workers only ever call ``run_point``.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["progress_callback"] = None
+        state["backend"] = None
+        state["_point_cache"] = {}
+        state["cache_hits"] = 0
+        state["cache_misses"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.backend is None:
+            self.backend = SerialBackend()
 
     # -- configuration construction ------------------------------------------
 
@@ -85,10 +336,15 @@ class ExplorationEngine:
             points = self.space.sample(self.settings.sample, seed=self.settings.sample_seed)
             yield from enumerate(points)
 
-    # -- the exploration loop -----------------------------------------------
+    # -- point evaluation ----------------------------------------------------
 
     def run_point(self, point: dict, label: str = "") -> ExplorationRecord:
-        """Profile a single parameter point and return its record."""
+        """Profile a single parameter point and return its record.
+
+        This is the pure evaluation kernel: no cache, no backend.  It is what
+        worker processes execute; in-process callers that want memoisation
+        and parallel dispatch go through :meth:`evaluate_points`.
+        """
         configuration = self.configuration_for(point, label=label)
         built = self.factory.build(configuration)
         profiler = Profiler(
@@ -109,15 +365,124 @@ class ExplorationEngine:
             oom_failures=oom_failures,
         )
 
+    def evaluate_points(
+        self, items: Sequence[tuple[dict, str]]
+    ) -> list[ExplorationRecord]:
+        """Evaluate a batch of ``(point, label)`` items through cache + backend.
+
+        Cached points are answered without touching the backend; the
+        remaining distinct points are dispatched as one backend batch (one
+        evaluation even if a point repeats within the batch).  The returned
+        list matches the submission order item-for-item.
+
+        Repeat answers are shallow copies of the memoised record, relabelled
+        with the submitted label (see :func:`_cached_copy`).
+        """
+        items = list(items)
+        results: list[ExplorationRecord | None] = [None] * len(items)
+        pending: list[tuple[dict, str]] = []
+        pending_keys: list[tuple] = []
+        positions_by_key: dict[tuple, list[int]] = {}
+        for position, (point, label) in enumerate(items):
+            key = canonical_point_key(point)
+            cached = self._point_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                results[position] = _cached_copy(cached, label)
+                continue
+            if key in positions_by_key:
+                # Duplicate within the batch: profiled once, counted once.
+                self.cache_hits += 1
+                positions_by_key[key].append(position)
+                continue
+            positions_by_key[key] = [position]
+            pending.append((point, label))
+            pending_keys.append(key)
+        if pending:
+            self.cache_misses += len(pending)
+            records = self.backend.evaluate(self, pending)
+            if len(records) != len(pending):  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"backend returned {len(records)} records for "
+                    f"{len(pending)} submitted points"
+                )
+            for key, record in zip(pending_keys, records):
+                self._point_cache[key] = record
+                first, *rest = positions_by_key[key]
+                results[first] = record
+                for position in rest:
+                    results[position] = _cached_copy(record, items[position][1])
+        return results  # type: ignore[return-value]
+
+    def evaluate_point(self, point: dict, label: str = "") -> ExplorationRecord:
+        """Cached evaluation of one point (single-item :meth:`evaluate_points`)."""
+        return self.evaluate_points([(point, label)])[0]
+
+    @property
+    def cached_point_count(self) -> int:
+        """Number of distinct points currently memoised."""
+        return len(self._point_cache)
+
+    def clear_cache(self) -> None:
+        """Drop memoised records and reset the hit/miss counters."""
+        self._point_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _record_cache_stats(
+        self, database: ResultDatabase, hits_before: int, misses_before: int
+    ) -> None:
+        database.cache_hits = self.cache_hits - hits_before
+        database.cache_misses = self.cache_misses - misses_before
+
+    def close(self) -> None:
+        """Release backend workers (safe to call repeatedly)."""
+        self.backend.close()
+
+    # -- the exploration loop -----------------------------------------------
+
     def explore(self) -> ResultDatabase:
         """Run the exploration over the whole (or sampled) space."""
         database = ResultDatabase(name=f"{self.trace.name}-exploration")
+        hits_before, misses_before = self.cache_hits, self.cache_misses
         total = (
             self.space.size() if self.settings.sample is None else self.settings.sample
         )
+        batch_size = self._explore_batch_size(total)
+        batch: list[tuple[int, dict]] = []
         for index, point in self.enumerate_points():
-            label = f"{self.settings.label_prefix}{index:05d}"
-            record = self.run_point(point, label=label)
+            batch.append((index, point))
+            if len(batch) >= batch_size:
+                self._explore_batch(batch, total, database)
+                batch = []
+        if batch:
+            self._explore_batch(batch, total, database)
+        self._record_cache_stats(database, hits_before, misses_before)
+        return database
+
+    def _explore_batch_size(self, total: int) -> int:
+        """Points per dispatched batch of :meth:`explore`.
+
+        Serial evaluation batches nothing: progress callbacks keep firing
+        after every single point, exactly as before backends existed.  A
+        pool batches enough points to amortise dispatch over all workers.
+        """
+        jobs = getattr(self.backend, "jobs", 1) or 1
+        if jobs <= 1:
+            return 1
+        return max(jobs * 8, self.settings.progress_every or 1)
+
+    def _explore_batch(
+        self,
+        batch: list[tuple[int, dict]],
+        total: int,
+        database: ResultDatabase,
+    ) -> None:
+        items = [
+            (point, f"{self.settings.label_prefix}{index:05d}") for index, point in batch
+        ]
+        records = self.evaluate_points(items)
+        for (index, _point), record in zip(batch, records):
             database.add(record)
             if self.progress_callback is not None:
                 self.progress_callback(index + 1, total)
@@ -126,7 +491,6 @@ class ExplorationEngine:
                 and (index + 1) % self.settings.progress_every == 0
             ):
                 print(f"explored {index + 1}/{total} configurations", flush=True)
-        return database
 
     # -- analysis shortcuts -----------------------------------------------
 
@@ -142,8 +506,14 @@ def explore(
     hot_sizes: list[int] | None = None,
     sample: int | None = None,
     metrics: list[str] | None = None,
+    jobs: int | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> ResultDatabase:
-    """One-shot exploration helper used by examples and benchmarks."""
+    """One-shot exploration helper used by examples and benchmarks.
+
+    ``jobs`` > 1 selects a :class:`ProcessPoolBackend` (ignored when an
+    explicit ``backend`` is given); workers are shut down before returning.
+    """
     settings = ExplorationSettings(
         metrics=metrics or metric_keys(),
         sample=sample,
@@ -154,5 +524,10 @@ def explore(
         hierarchy=hierarchy,
         hot_sizes=hot_sizes,
         settings=settings,
+        backend=backend or make_backend(jobs),
     )
-    return engine.explore()
+    try:
+        return engine.explore()
+    finally:
+        if backend is None:
+            engine.close()

@@ -109,6 +109,11 @@ def exploration_report(
         f"'{database[0].trace_name if len(database) else '?'}'."
     )
     lines.append(f"Pareto-optimal configurations: {analysis.pareto_count}")
+    if database.cache_hits or database.cache_misses:
+        lines.append(
+            f"Point evaluations: {database.cache_misses} profiled, "
+            f"{database.cache_hits} answered from the memoisation cache"
+        )
     lines.append("")
     lines.append(tradeoff_table(analysis))
     lines.append("")

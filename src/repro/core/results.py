@@ -80,6 +80,10 @@ class ResultDatabase:
     def __init__(self, name: str = "exploration") -> None:
         self.name = name
         self._records: list[ExplorationRecord] = []
+        # Filled in by the producing engine/search: how many point
+        # evaluations were answered from the memoisation cache vs profiled.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- collection ------------------------------------------------------
 
@@ -198,12 +202,17 @@ class ResultDatabase:
             "name": self.name,
             "records": [record.as_dict() for record in self._records],
         }
+        if self.cache_hits or self.cache_misses:
+            payload["cache"] = {"hits": self.cache_hits, "misses": self.cache_misses}
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
     @classmethod
     def from_json(cls, path: str | Path) -> "ResultDatabase":
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         database = cls(name=payload.get("name", "exploration"))
+        cache = payload.get("cache", {})
+        database.cache_hits = int(cache.get("hits", 0))
+        database.cache_misses = int(cache.get("misses", 0))
         for entry in payload.get("records", []):
             database.add(ExplorationRecord.from_dict(entry))
         return database
@@ -216,6 +225,8 @@ class ResultDatabase:
             "records": len(self._records),
             "feasible": len(self.feasible_records()),
         }
+        if self.cache_hits or self.cache_misses:
+            data["cache"] = {"hits": self.cache_hits, "misses": self.cache_misses}
         if not self.feasible_records():
             return data
         for key in metric_keys():

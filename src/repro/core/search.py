@@ -15,6 +15,15 @@ point-evaluation machinery as the exhaustive engine:
 
 All strategies return a :class:`ResultDatabase`, so the downstream Pareto /
 trade-off / reporting code is identical to the exhaustive path.
+
+Candidate generation is separated from candidate evaluation: each strategy
+first draws a full generation/batch of points from its **private**
+``random.Random(seed)`` stream (no shared module-level RNG state), then
+evaluates the batch in one :meth:`ExplorationEngine.evaluate_points` call.
+Because no random draws happen during evaluation, the search trajectory for
+a given seed is identical whatever :class:`~repro.core.exploration.
+EvaluationBackend` performs the evaluations — serial and process-pool runs
+produce the same databases.
 """
 
 from __future__ import annotations
@@ -45,27 +54,76 @@ class SearchStrategy:
 
     name = "abstract"
 
+    #: Consecutive generations allowed to add no new evaluation before a
+    #: strategy gives up (guards against spinning forever on a small space
+    #: whose points are all memoised while budget remains).
+    max_stalled_generations = 10
+
     def __init__(self, engine: ExplorationEngine, budget: SearchBudget | None = None) -> None:
         self.engine = engine
         self.budget = budget or SearchBudget()
+        # Every strategy instance owns its RNG; nothing here touches the
+        # process-wide ``random`` module, so concurrently constructed
+        # strategies (or parallel backends) cannot perturb each other.
         self.rng = random.Random(self.budget.seed)
         self._evaluated: dict[int, ExplorationRecord] = {}
 
     # -- helpers ------------------------------------------------------------
 
     def _evaluate(self, point: dict, database: ResultDatabase) -> ExplorationRecord:
-        """Evaluate a point, memoising by its index in the space."""
-        index = self.engine.space.index_of(point)
-        if index in self._evaluated:
-            return self._evaluated[index]
-        record = self.engine.run_point(point, label=f"{self.name}_{index:06d}")
-        self._evaluated[index] = record
-        database.add(record)
-        return record
+        """Evaluate one point (memoised by its index in the space)."""
+        return self._evaluate_batch([point], database)[0]
+
+    def _evaluate_batch(
+        self, points: list[dict], database: ResultDatabase
+    ) -> list[ExplorationRecord]:
+        """Evaluate a generation of points as one backend batch.
+
+        The whole generation goes through the engine, whose memoisation
+        cache answers revisited points (hill-climb no-op mutations, repeated
+        offspring) without re-profiling; only points this strategy has not
+        produced before are appended to ``database``, in generation order.
+        Returns one record per submitted point, order preserved.
+        """
+        indices = [self.engine.space.index_of(point) for point in points]
+        items = [
+            (point, f"{self.name}_{index:06d}")
+            for point, index in zip(points, indices)
+        ]
+        records = self.engine.evaluate_points(items)
+        for index, record in zip(indices, records):
+            if index not in self._evaluated:
+                self._evaluated[index] = record
+                database.add(record)
+        return records
+
+    def _within_budget(self, points: list[dict]) -> list[dict]:
+        """Truncate a candidate generation to the remaining budget.
+
+        Only points that would cost a *new* evaluation consume budget;
+        already-memoised points ride along for free, mirroring how
+        ``evaluations_used`` is counted.
+        """
+        remaining = self.budget.evaluations - self.evaluations_used
+        taken: list[dict] = []
+        new_indices: set[int] = set()
+        for point in points:
+            index = self.engine.space.index_of(point)
+            if index not in self._evaluated and index not in new_indices:
+                if remaining <= 0:
+                    continue
+                new_indices.add(index)
+                remaining -= 1
+            taken.append(point)
+        return taken
 
     @property
     def evaluations_used(self) -> int:
         return len(self._evaluated)
+
+    @property
+    def budget_left(self) -> bool:
+        return self.evaluations_used < self.budget.evaluations
 
     def _random_point(self) -> dict:
         return self.engine.space.point_at(self.rng.randrange(self.engine.space.size()))
@@ -88,6 +146,15 @@ class SearchStrategy:
         return child
 
     def run(self) -> ResultDatabase:
+        """Template method: snapshot cache counters around :meth:`_search`."""
+        database = ResultDatabase(name=f"{self.engine.trace.name}-{self.name}")
+        hits_before = self.engine.cache_hits
+        misses_before = self.engine.cache_misses
+        self._search(database)
+        self.engine._record_cache_stats(database, hits_before, misses_before)
+        return database
+
+    def _search(self, database: ResultDatabase) -> None:
         raise NotImplementedError
 
 
@@ -96,21 +163,21 @@ class RandomSearch(SearchStrategy):
 
     name = "random"
 
-    def run(self) -> ResultDatabase:
-        database = ResultDatabase(name=f"{self.engine.trace.name}-random-search")
+    def _search(self, database: ResultDatabase) -> None:
         total = min(self.budget.evaluations, self.engine.space.size())
         points = self.engine.space.sample(total, seed=self.budget.seed)
-        for point in points:
-            self._evaluate(point, database)
-        return database
+        self._evaluate_batch(points, database)
 
 
 class HillClimbSearch(SearchStrategy):
-    """Single-parameter hill climbing with random restarts.
+    """Steepest-descent hill climbing with random restarts.
 
     Minimises a scalarised objective (the normalised sum of the chosen
     metrics) — a simple but effective local search when the designer wants
-    one good configuration quickly rather than the whole front.
+    one good configuration quickly rather than the whole front.  Each step
+    evaluates ``neighbours_per_step`` single-parameter mutations of the
+    current point as one batch (so a parallel backend profiles them
+    concurrently) and moves to the best improving neighbour.
     """
 
     name = "hillclimb"
@@ -131,8 +198,7 @@ class HillClimbSearch(SearchStrategy):
             record.metrics.value(metric) / scales[metric] for metric in self.metrics
         )
 
-    def run(self) -> ResultDatabase:
-        database = ResultDatabase(name=f"{self.engine.trace.name}-hillclimb")
+    def _search(self, database: ResultDatabase) -> None:
         # Scale metrics by the value of an initial random point so that
         # objectives with large magnitudes do not dominate the scalarisation.
         current_point = self._random_point()
@@ -141,29 +207,34 @@ class HillClimbSearch(SearchStrategy):
             metric: max(current.metrics.value(metric), 1.0) for metric in self.metrics
         }
         current_score = self._score(current, scales)
-        while self.evaluations_used < self.budget.evaluations:
+        stalled = 0
+        while self.budget_left and stalled < self.max_stalled_generations:
+            used_before = self.evaluations_used
+            neighbours = [
+                self._mutate(current_point) for _ in range(self.neighbours_per_step)
+            ]
+            neighbours = self._within_budget(neighbours)
             improved = False
-            for _ in range(self.neighbours_per_step):
-                if self.evaluations_used >= self.budget.evaluations:
-                    break
-                neighbour_point = self._mutate(current_point)
-                neighbour = self._evaluate(neighbour_point, database)
-                score = self._score(neighbour, scales)
-                if score < current_score:
-                    current_point, current, current_score = (
-                        neighbour_point,
-                        neighbour,
-                        score,
-                    )
+            if neighbours:
+                records = self._evaluate_batch(neighbours, database)
+                best_index = min(
+                    range(len(records)),
+                    key=lambda i: self._score(records[i], scales),
+                )
+                best_score = self._score(records[best_index], scales)
+                if best_score < current_score:
+                    current_point = neighbours[best_index]
+                    current = records[best_index]
+                    current_score = best_score
                     improved = True
             if not improved:
                 # Random restart.
-                if self.evaluations_used >= self.budget.evaluations:
+                if not self.budget_left:
                     break
                 current_point = self._random_point()
                 current = self._evaluate(current_point, database)
                 current_score = self._score(current, scales)
-        return database
+            stalled = stalled + 1 if self.evaluations_used == used_before else 0
 
 
 class EvolutionarySearch(SearchStrategy):
@@ -199,31 +270,43 @@ class EvolutionarySearch(SearchStrategy):
         )
         return [records[i] for i in order[: self.population_size]]
 
-    def run(self) -> ResultDatabase:
-        database = ResultDatabase(name=f"{self.engine.trace.name}-evolutionary")
+    def _search(self, database: ResultDatabase) -> None:
         population: list[tuple[dict, ExplorationRecord]] = []
+        stalled = 0
         while (
             len(population) < self.population_size
-            and self.evaluations_used < self.budget.evaluations
+            and self.budget_left
+            and stalled < self.max_stalled_generations
         ):
-            point = self._random_point()
-            population.append((point, self._evaluate(point, database)))
-        while self.evaluations_used < self.budget.evaluations:
-            offspring: list[tuple[dict, ExplorationRecord]] = []
+            used_before = self.evaluations_used
+            seeds = [
+                self._random_point()
+                for _ in range(self.population_size - len(population))
+            ]
+            seeds = self._within_budget(seeds)
+            if not seeds:
+                break
+            records = self._evaluate_batch(seeds, database)
+            population.extend(zip(seeds, records))
+            stalled = stalled + 1 if self.evaluations_used == used_before else 0
+        while self.budget_left and len(population) >= 2 and stalled < self.max_stalled_generations:
+            used_before = self.evaluations_used
+            child_points = []
             for _ in range(self.offspring_size):
-                if self.evaluations_used >= self.budget.evaluations:
-                    break
                 first, second = self.rng.sample(population, 2)
                 child_point = self._crossover(first[0], second[0])
                 if self.rng.random() < self.mutation_rate:
                     child_point = self._mutate(child_point)
-                offspring.append((child_point, self._evaluate(child_point, database)))
+                child_points.append(child_point)
+            child_points = self._within_budget(child_points)
+            if not child_points:
+                break
+            child_records = self._evaluate_batch(child_points, database)
+            offspring = list(zip(child_points, child_records))
             combined = population + offspring
             selected_records = self._select([record for _point, record in combined])
             selected_ids = {id(record) for record in selected_records}
             population = [
                 (point, record) for point, record in combined if id(record) in selected_ids
             ][: self.population_size]
-            if not offspring:
-                break
-        return database
+            stalled = stalled + 1 if self.evaluations_used == used_before else 0
