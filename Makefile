@@ -1,11 +1,34 @@
 PYTHON ?= python
+RUN := PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
 # Tier-1 verification: the whole test + benchmark suite, collection included.
 verify:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
+	$(RUN) -m pytest -x -q
 
 # Benchmark tables only (the reproduction artefacts).
 bench:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(RUN) -m pytest benchmarks/ --benchmark-only -s
 
-.PHONY: verify bench
+# Docs verification: README and docs/ code blocks must parse and run.
+verify-docs:
+	$(RUN) -m pytest tests/test_docs.py -q
+
+# Distributed-story verification: three shard runs, merged, must reproduce
+# the single-run exhaustive database byte-identically.  CI runs the same
+# flow with the shards on separate matrix workers.
+SHARD_DIR := .shard-demo
+verify-shards:
+	rm -rf $(SHARD_DIR) && mkdir -p $(SHARD_DIR)
+	for k in 1 2 3; do \
+	  $(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	    --shard $$k/3 --out $(SHARD_DIR)/shard$$k.json || exit 1; \
+	done
+	$(RUN) -m repro merge $(SHARD_DIR)/shard1.json $(SHARD_DIR)/shard2.json \
+	  $(SHARD_DIR)/shard3.json --out $(SHARD_DIR)/merged.json
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --out $(SHARD_DIR)/full.json
+	cmp $(SHARD_DIR)/merged.json $(SHARD_DIR)/full.json
+	@echo "3-shard merge reproduces the single-run database byte-identically"
+	rm -rf $(SHARD_DIR)
+
+.PHONY: verify bench verify-docs verify-shards

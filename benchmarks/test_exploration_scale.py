@@ -20,6 +20,7 @@ import pytest
 from repro.core.exploration import ProcessPoolBackend, SerialBackend
 from repro.core.factory import AllocatorFactory
 from repro.core.space import default_parameter_space
+from repro.core.store import ResultStore
 from repro.memhier.hierarchy import embedded_two_level
 
 from .common import easyport_engine, easyport_trace, print_table
@@ -135,3 +136,67 @@ def test_serial_vs_parallel_evaluation(benchmark, request):
         # Generous bound: even half the ideal speedup clears it easily, but a
         # parallel path that regressed to serial-or-worse fails.
         assert parallel_seconds < serial_seconds * 0.9
+
+
+def test_cold_vs_warm_result_store(benchmark, request, tmp_path):
+    """Experiment STORE-WARM: wall-clock of a cold vs store-warmed exploration.
+
+    Runs the same 24-configuration batch twice through fresh engines sharing
+    one persistent :class:`ResultStore`: the first (cold) run profiles every
+    point and persists it; the second (warm, the benchmarked quantity) runs
+    in a new engine whose in-memory cache is empty — exactly the situation
+    of a re-started exploration — and must answer every point from the store
+    with **zero** fresh profiler evaluations.  The printed speedup is the
+    incremental-exploration payoff tracked in the perf trajectory.
+    """
+    store_path = tmp_path / "results.jsonl"
+    cold_engine = easyport_engine(sample=None, compact=True)
+    cold_engine.store = ResultStore(store_path)
+    points = [cold_engine.space.point_at(index) for index in range(24)]
+    items = [(point, f"cfg{index:05d}") for index, point in enumerate(points)]
+
+    cold_start = time.perf_counter()
+    cold_records = cold_engine.evaluate_points(items)
+    cold_seconds = time.perf_counter() - cold_start
+    cold_engine.store.close()
+    assert cold_engine.cache_misses == len(items)
+
+    warm_engine = easyport_engine(sample=None, compact=True)
+
+    def warm_run():
+        # Open the store inside the measured region: parsing the JSON-lines
+        # file back is part of the price of resuming a run.
+        warm_engine.clear_cache()
+        warm_engine.store = ResultStore(store_path)
+        try:
+            return warm_engine.evaluate_points(items)
+        finally:
+            warm_engine.store.close()
+
+    warm_records = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_seconds = benchmark.stats.stats.mean
+
+    # The warm run performed zero fresh profiler evaluations ...
+    assert warm_engine.cache_misses == 0
+    assert warm_engine.store_hits == len(items)
+    # ... and returned the same results.
+    for cold_record, warm_record in zip(cold_records, warm_records):
+        assert cold_record.metrics == warm_record.metrics
+        assert cold_record.configuration_id == warm_record.configuration_id
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    rows = [
+        ("configurations evaluated", len(items), "-"),
+        ("cold wall-clock (profiling + persisting)", f"{cold_seconds:.3f} s", "a night of simulation"),
+        ("warm wall-clock (store replay)", f"{warm_seconds * 1e3:.1f} ms", "-"),
+        ("fresh profiler evaluations, warm run", warm_engine.cache_misses, "0"),
+        ("speedup", f"x{speedup:.1f}", "-"),
+    ]
+    print_table(
+        "Cold vs warm persistent result store", rows, ("quantity", "measured", "paper")
+    )
+    dedicated_run = request.config.getoption("--benchmark-only", default=False)
+    if dedicated_run:
+        # Replaying from disk must beat re-profiling by a wide margin; the
+        # loose bound keeps shared-runner noise from failing the build.
+        assert warm_seconds < cold_seconds * 0.5

@@ -32,18 +32,23 @@ Quick start::
 """
 
 from .core import (
+    METRIC_VERSION,
     AllocatorConfiguration,
     AllocatorFactory,
     EvaluationBackend,
     ExplorationEngine,
     ExplorationRecord,
     ExplorationSettings,
+    MergeError,
     Parameter,
     ParameterSpace,
     PoolSpec,
     ProcessPoolBackend,
+    Provenance,
     ResultDatabase,
+    ResultStore,
     SerialBackend,
+    ShardSpec,
     TradeoffAnalysis,
     build_allocator,
     compact_parameter_space,
@@ -51,6 +56,7 @@ from .core import (
     default_parameter_space,
     exploration_report,
     explore,
+    merge_databases,
     pareto_front,
     smoke_parameter_space,
 )
@@ -87,8 +93,10 @@ __all__ = [
     "ExplorationEngine",
     "ExplorationRecord",
     "ExplorationSettings",
+    "METRIC_VERSION",
     "MemoryHierarchy",
     "MemoryModule",
+    "MergeError",
     "MetricSet",
     "Parameter",
     "ParameterSpace",
@@ -97,8 +105,11 @@ __all__ = [
     "ProcessPoolBackend",
     "ProfileResult",
     "Profiler",
+    "Provenance",
     "ResultDatabase",
+    "ResultStore",
     "SerialBackend",
+    "ShardSpec",
     "TradeoffAnalysis",
     "VTCWorkload",
     "__version__",
@@ -111,6 +122,7 @@ __all__ = [
     "embedded_two_level",
     "exploration_report",
     "explore",
+    "merge_databases",
     "pareto_front",
     "profile_trace",
     "smoke_parameter_space",

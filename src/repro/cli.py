@@ -4,12 +4,18 @@
 
 * ``dmexplore explore --workload easyport --space compact --out results.json``
     run an exploration and store the result database,
+* ``dmexplore explore --store cache.jsonl --shard 2/3 --out shard2.json``
+    run one shard of the enumeration, backed by a persistent result store,
+* ``dmexplore merge shard1.json shard2.json shard3.json --out merged.json``
+    union shard artefacts back into one database,
 * ``dmexplore pareto results.json``
     print the Pareto-optimal configurations of a stored database,
 * ``dmexplore report results.json --export-dir out/``
     print the dashboard and export the CSV / gnuplot artefacts,
 * ``dmexplore trace --workload vtc --out vtc.trace``
     generate and save a workload trace for inspection or reuse.
+
+Every subcommand and flag is documented in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -18,13 +24,27 @@ import argparse
 import sys
 from pathlib import Path
 
-from .core.exploration import ExplorationEngine, ExplorationSettings, make_backend
+from .core.exploration import (
+    ExplorationEngine,
+    ExplorationSettings,
+    ShardSpec,
+    make_backend,
+)
 from .core.reporting import describe_record, exploration_report
 from .core.results import ResultDatabase
-from .core.space import (
-    compact_parameter_space,
-    default_parameter_space,
-    smoke_parameter_space,
+from .core.search import (
+    EvolutionarySearch,
+    HillClimbSearch,
+    RandomSearch,
+    SearchBudget,
+)
+from .core.space import STANDARD_SPACES
+from .core.store import (
+    MergeError,
+    ResultStore,
+    StoreError,
+    default_store_path,
+    merge_databases,
 )
 from .gui.report import dashboard, export_artifacts
 from .memhier.hierarchy import embedded_three_level, embedded_two_level
@@ -42,18 +62,19 @@ WORKLOADS = {
     "bursty": lambda: BurstyWorkload(bursts=15, burst_length=80),
 }
 
-#: Parameter-space factories selectable from the command line.
-SPACES = {
-    "default": default_parameter_space,
-    "compact": compact_parameter_space,
-    "smoke": smoke_parameter_space,
-}
+#: Parameter-space factories selectable from the command line (one shared
+#: registry with the library, see :data:`repro.core.space.STANDARD_SPACES`).
+SPACES = STANDARD_SPACES
 
 #: Hierarchy factories selectable from the command line.
 HIERARCHIES = {
     "2level": embedded_two_level,
     "3level": embedded_three_level,
 }
+
+#: Search strategies selectable with ``explore --strategy`` (exhaustive is
+#: the paper's default and handled by the engine itself).
+STRATEGIES = ("exhaustive", "random", "hillclimb", "evolutionary")
 
 
 def _jobs_count(text: str) -> int:
@@ -62,6 +83,14 @@ def _jobs_count(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError("jobs must be >= 0 (0 = all CPU cores)")
     return value
+
+
+def _shard_spec(text: str) -> ShardSpec:
+    """argparse type for ``--shard``: the ``K/N`` form."""
+    try:
+        return ShardSpec.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +124,46 @@ def build_parser() -> argparse.ArgumentParser:
             "(1 = serial, 0 = all CPU cores)"
         ),
     )
+    explore_parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="exhaustive",
+        help="exhaustive enumeration (default) or a heuristic search",
+    )
+    explore_parser.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="evaluation budget for heuristic strategies (ignored by exhaustive)",
+    )
+    explore_parser.add_argument(
+        "--store",
+        type=Path,
+        nargs="?",
+        const=None,
+        default=argparse.SUPPRESS,
+        help=(
+            "persist evaluated points in a JSON-lines result store and reuse "
+            "them on later runs; without PATH the store lives under ~/.cache/"
+            "dmexplore"
+        ),
+    )
+    explore_parser.add_argument(
+        "--shard",
+        type=_shard_spec,
+        default=None,
+        metavar="K/N",
+        help=(
+            "evaluate only shard K of N (1-based) of the enumeration; "
+            "merge the shard artefacts with 'dmexplore merge'"
+        ),
+    )
+
+    merge_parser = subparsers.add_parser(
+        "merge", help="union shard artefacts into one result database"
+    )
+    merge_parser.add_argument("inputs", type=Path, nargs="+")
+    merge_parser.add_argument("--out", type=Path, default=Path("merged.json"))
 
     pareto_parser = subparsers.add_parser("pareto", help="list Pareto-optimal configurations")
     pareto_parser.add_argument("database", type=Path)
@@ -117,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_explore(args: argparse.Namespace) -> int:
+    if args.shard is not None and args.strategy != "exhaustive":
+        print("error: --shard only applies to --strategy exhaustive", file=sys.stderr)
+        return 2
     workload = WORKLOADS[args.workload]()
     trace = workload.generate(seed=args.seed)
     space = SPACES[args.space]()
@@ -125,21 +197,74 @@ def _command_explore(args: argparse.Namespace) -> int:
         metrics=args.metrics or metric_keys(),
         sample=args.sample,
         progress_every=max(1, (args.sample or space.size()) // 10),
+        shard=args.shard,
     )
     backend = make_backend(args.jobs)  # validated non-negative by the parser
+    store = None
+    if hasattr(args, "store"):  # --store given (with or without a path)
+        store_path = args.store if args.store is not None else default_store_path()
+        try:
+            store = ResultStore(store_path)
+        except (StoreError, OSError) as error:
+            print(f"error: cannot open result store: {error}", file=sys.stderr)
+            return 2
     print(f"workload: {workload.describe()}")
     print(f"space: {space.size()} configurations ({args.space})")
+    if args.shard is not None:
+        owned = args.shard.size_of(args.sample or space.size())
+        print(f"shard: {args.shard.label} ({owned} configurations this run)")
     print(f"evaluation backend: {getattr(backend, 'jobs', 1)} job(s)")
+    if store is not None:
+        print(
+            f"result store: {store.path} "
+            f"({store.loaded} entries loaded, {store.corrupt_entries} corrupt skipped)"
+        )
     engine = ExplorationEngine(
-        space, trace, hierarchy=hierarchy, settings=settings, backend=backend
+        space, trace, hierarchy=hierarchy, settings=settings, backend=backend, store=store
     )
     try:
-        database = engine.explore()
+        database = _run_strategy(engine, args)
     finally:
         engine.close()
+        if store is not None:
+            store.close()
     database.to_json(args.out)
     print(f"stored {len(database)} results in {args.out}")
     print(exploration_report(database, title=f"{args.workload} exploration"))
+    return 0
+
+
+def _run_strategy(engine: ExplorationEngine, args: argparse.Namespace) -> ResultDatabase:
+    """Dispatch ``explore --strategy`` to the engine or a heuristic search."""
+    if args.strategy == "exhaustive":
+        return engine.explore()
+    budget = SearchBudget(evaluations=args.budget, seed=args.seed)
+    metrics = args.metrics or metric_keys()
+    if args.strategy == "random":
+        return RandomSearch(engine, budget).run()
+    if args.strategy == "hillclimb":
+        return HillClimbSearch(engine, budget, metrics=metrics).run()
+    return EvolutionarySearch(engine, budget, metrics=metrics).run()
+
+
+def _command_merge(args: argparse.Namespace) -> int:
+    try:
+        databases = [ResultDatabase.from_json(path) for path in args.inputs]
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load artefact: {error}", file=sys.stderr)
+        return 2
+    try:
+        merged = merge_databases(databases)
+    except MergeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    merged.to_json(args.out)
+    total = sum(len(database) for database in databases)
+    print(
+        f"merged {len(databases)} artefacts ({total} records) "
+        f"into {args.out} ({len(merged)} records)"
+    )
+    print(f"Pareto-optimal configurations after merge: {len(merged.pareto_records())}")
     return 0
 
 
@@ -182,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     commands = {
         "explore": _command_explore,
+        "merge": _command_merge,
         "pareto": _command_pareto,
         "report": _command_report,
         "trace": _command_trace,

@@ -27,17 +27,28 @@ Independently of the backend, the engine memoises evaluations by the
 canonicalised parameter point, so heuristic searches that revisit points
 (hill-climb restarts, evolutionary populations) never re-profile the trace;
 the cache hit/miss counters are surfaced on the produced databases.
+
+Two further layers make large sweeps practical (see :mod:`repro.core.store`):
+
+* the in-memory cache can be backed by a persistent
+  :class:`~repro.core.store.ResultStore` (the L2), so repeated explorations
+  of the same workload are incremental across processes and machines;
+* exhaustive enumeration can be partitioned with a :class:`ShardSpec`
+  (``--shard K/N`` on the CLI) so independent workers each evaluate a
+  deterministic slice of the space and their artefacts are merged back with
+  :func:`repro.core.store.merge_databases`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import math
 import multiprocessing
 import os
 import pickle
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
 from ..memhier.energy import EnergyModel
@@ -48,7 +59,58 @@ from ..profiling.tracer import AllocationTrace
 from .configuration import AllocatorConfiguration, configuration_from_point
 from .factory import AllocatorFactory
 from .parameters import ParameterSpace
-from .results import ExplorationRecord, ResultDatabase
+from .results import ExplorationRecord, Provenance, ResultDatabase
+from .store import METRIC_VERSION, ResultStore
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a deterministically partitioned enumeration.
+
+    Shard ``index`` (1-based) of ``count`` owns every enumeration position
+    ``i`` with ``i % count == index - 1``.  The strided partition keeps the
+    shards balanced whatever the enumeration order, and because ownership
+    depends only on the position, ``N`` workers running ``1/N .. N/N`` cover
+    the space exactly once with no coordination.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``"K/N"`` (e.g. ``"2/3"``)."""
+        parts = text.split("/")
+        if len(parts) != 2:
+            raise ValueError(f"shard must look like K/N (e.g. 2/3), got {text!r}")
+        try:
+            index, count = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"shard must look like K/N (e.g. 2/3), got {text!r}"
+            ) from None
+        return cls(index=index, count=count)
+
+    def owns(self, position: int) -> bool:
+        """True when this shard evaluates enumeration position ``position``."""
+        return position % self.count == self.index - 1
+
+    def size_of(self, total: int) -> int:
+        """How many of ``total`` enumeration positions this shard owns."""
+        return len(range(self.index - 1, total, self.count))
+
+    @property
+    def label(self) -> str:
+        """The ``"K/N"`` form, used in provenance and reports."""
+        return f"{self.index}/{self.count}"
 
 
 @dataclass
@@ -61,6 +123,7 @@ class ExplorationSettings:
     payload_access_factor: float = 2.0
     progress_every: int = 0
     label_prefix: str = "cfg"
+    shard: ShardSpec | None = None
 
 
 def canonical_point_key(point: dict) -> tuple:
@@ -280,6 +343,7 @@ class ExplorationEngine:
         energy_model: EnergyModel | None = None,
         progress_callback: Callable[[int, int], None] | None = None,
         backend: EvaluationBackend | None = None,
+        store: ResultStore | None = None,
     ) -> None:
         self.space = space
         self.trace = trace
@@ -288,6 +352,8 @@ class ExplorationEngine:
         self.energy_model = energy_model or EnergyModel(self.hierarchy)
         self.progress_callback = progress_callback
         self.backend = backend or SerialBackend()
+        # Persistent L2 behind the in-memory memoisation cache (may be None).
+        self.store = store
         # The hot block sizes drive which dedicated pools a configuration can
         # create; by default they are derived from the trace itself, exactly
         # as the paper's profiling pass would.
@@ -297,24 +363,61 @@ class ExplorationEngine:
         self._point_cache: dict[tuple, ExplorationRecord] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self._fingerprint: str | None = None
 
     # Worker processes receive a pickled copy of the engine; the progress
     # callback may be a closure (unpicklable) and is meaningless off-process,
-    # and shipping the parent's backend or cache along would be wasteful —
-    # workers only ever call ``run_point``.
+    # and shipping the parent's backend, cache or store handle along would be
+    # wasteful (or impossible — open file handles don't pickle) — workers
+    # only ever call ``run_point``.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["progress_callback"] = None
         state["backend"] = None
+        state["store"] = None
         state["_point_cache"] = {}
         state["cache_hits"] = 0
         state["cache_misses"] = 0
+        state["store_hits"] = 0
+        state["store_misses"] = 0
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         if self.backend is None:
             self.backend = SerialBackend()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Hex SHA-256 identifying everything that determines a point's metrics.
+
+        Covers the trace events (:meth:`AllocationTrace.fingerprint`), the
+        memory hierarchy modules, the energy-model constants, the hot block
+        sizes and the profiler's payload-access factor — but *not* the
+        parameter space, backend or sampling settings, which choose *which*
+        points are evaluated, never what one point measures.  Together with
+        the canonicalised point and :data:`~repro.core.store.METRIC_VERSION`
+        this keys the persistent result store and artefact provenance.
+        """
+        if self._fingerprint is None:
+            context = {
+                "trace": self.trace.fingerprint(),
+                "hierarchy": [asdict(module) for module in self.hierarchy],
+                "energy": {
+                    "cpu_overhead_cycles": self.energy_model.cpu_overhead_cycles,
+                    "cpu_energy_nj_per_op": self.energy_model.cpu_energy_nj_per_op,
+                    "static_nj_per_byte": self.energy_model.static_nj_per_byte,
+                },
+                "hot_sizes": list(self.hot_sizes),
+                "payload_access_factor": self.settings.payload_access_factor,
+            }
+            payload = json.dumps(context, sort_keys=True, separators=(",", ":"))
+            self._fingerprint = hashlib.sha256(payload.encode()).hexdigest()
+        return self._fingerprint
 
     # -- configuration construction ------------------------------------------
 
@@ -329,12 +432,25 @@ class ExplorationEngine:
         )
 
     def enumerate_points(self) -> Iterable[tuple[int, dict]]:
-        """Yield (index, point) pairs according to the sampling settings."""
+        """Yield (index, point) pairs according to the sampling/shard settings.
+
+        ``index`` is always the *global* enumeration position — when a
+        :class:`ShardSpec` is set, only the positions the shard owns are
+        yielded, but they keep their global index, so configuration labels
+        (and therefore merged artefacts) are identical to a single full run.
+        """
         if self.settings.sample is None:
-            yield from enumerate(self.space.points())
+            pairs: Iterable[tuple[int, dict]] = enumerate(self.space.points())
         else:
             points = self.space.sample(self.settings.sample, seed=self.settings.sample_seed)
-            yield from enumerate(points)
+            pairs = enumerate(points)
+        shard = self.settings.shard
+        if shard is None:
+            yield from pairs
+        else:
+            for index, point in pairs:
+                if shard.owns(index):
+                    yield index, point
 
     # -- point evaluation ----------------------------------------------------
 
@@ -368,12 +484,15 @@ class ExplorationEngine:
     def evaluate_points(
         self, items: Sequence[tuple[dict, str]]
     ) -> list[ExplorationRecord]:
-        """Evaluate a batch of ``(point, label)`` items through cache + backend.
+        """Evaluate a batch of ``(point, label)`` items through caches + backend.
 
-        Cached points are answered without touching the backend; the
-        remaining distinct points are dispatched as one backend batch (one
-        evaluation even if a point repeats within the batch).  The returned
-        list matches the submission order item-for-item.
+        Lookup order per point: the in-memory memoisation cache (L1), then
+        the persistent :class:`~repro.core.store.ResultStore` when one is
+        attached (L2), then the backend profiles whatever is left as one
+        batch (one evaluation even if a point repeats within the batch).
+        Fresh evaluations are written back to the store, so the next process
+        exploring the same workload starts warm.  The returned list matches
+        the submission order item-for-item.
 
         Repeat answers are shallow copies of the memoised record, relabelled
         with the submitted label (see :func:`_cached_copy`).
@@ -395,6 +514,14 @@ class ExplorationEngine:
                 self.cache_hits += 1
                 positions_by_key[key].append(position)
                 continue
+            if self.store is not None:
+                stored = self.store.get(self.fingerprint, point)
+                if stored is not None:
+                    self.store_hits += 1
+                    self._point_cache[key] = stored
+                    results[position] = _cached_copy(stored, label)
+                    continue
+                self.store_misses += 1
             positions_by_key[key] = [position]
             pending.append((point, label))
             pending_keys.append(key)
@@ -406,8 +533,10 @@ class ExplorationEngine:
                     f"backend returned {len(records)} records for "
                     f"{len(pending)} submitted points"
                 )
-            for key, record in zip(pending_keys, records):
+            for (point, _label), key, record in zip(pending, pending_keys, records):
                 self._point_cache[key] = record
+                if self.store is not None:
+                    self.store.put(self.fingerprint, point, record)
                 first, *rest = positions_by_key[key]
                 results[first] = record
                 for position in rest:
@@ -424,16 +553,41 @@ class ExplorationEngine:
         return len(self._point_cache)
 
     def clear_cache(self) -> None:
-        """Drop memoised records and reset the hit/miss counters."""
+        """Drop memoised records and reset the hit/miss counters (L1 only;
+        an attached persistent store is unaffected)."""
         self._point_cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
 
-    def _record_cache_stats(
-        self, database: ResultDatabase, hits_before: int, misses_before: int
+    def _counter_snapshot(self) -> tuple[int, int, int, int]:
+        """Current (cache_hits, cache_misses, store_hits, store_misses)."""
+        return (self.cache_hits, self.cache_misses, self.store_hits, self.store_misses)
+
+    def _record_counters(
+        self, database: ResultDatabase, snapshot: tuple[int, int, int, int]
     ) -> None:
-        database.cache_hits = self.cache_hits - hits_before
-        database.cache_misses = self.cache_misses - misses_before
+        """Write the counter deltas since ``snapshot`` onto ``database``."""
+        hits, misses, store_hits, store_misses = snapshot
+        database.cache_hits = self.cache_hits - hits
+        database.cache_misses = self.cache_misses - misses
+        database.store_hits = self.store_hits - store_hits
+        database.store_misses = self.store_misses - store_misses
+        if self.store is not None:
+            database.store_loaded = self.store.loaded
+
+    def _attach_provenance(self, database: ResultDatabase) -> None:
+        """Stamp the database with the identity merge/resume validation needs."""
+        shard = self.settings.shard
+        database.provenance = Provenance(
+            fingerprint=self.fingerprint,
+            space=self.space.as_dict(),
+            metric_version=METRIC_VERSION,
+            sample=self.settings.sample,
+            sample_seed=self.settings.sample_seed,
+            shard=shard.label if shard is not None else "",
+        )
 
     def close(self) -> None:
         """Release backend workers (safe to call repeatedly)."""
@@ -442,22 +596,26 @@ class ExplorationEngine:
     # -- the exploration loop -----------------------------------------------
 
     def explore(self) -> ResultDatabase:
-        """Run the exploration over the whole (or sampled) space."""
+        """Run the exploration over the whole (or sampled, or sharded) space."""
         database = ResultDatabase(name=f"{self.trace.name}-exploration")
-        hits_before, misses_before = self.cache_hits, self.cache_misses
+        snapshot = self._counter_snapshot()
         total = (
             self.space.size() if self.settings.sample is None else self.settings.sample
         )
+        if self.settings.shard is not None:
+            total = self.settings.shard.size_of(total)
         batch_size = self._explore_batch_size(total)
         batch: list[tuple[int, dict]] = []
+        completed = 0
         for index, point in self.enumerate_points():
             batch.append((index, point))
             if len(batch) >= batch_size:
-                self._explore_batch(batch, total, database)
+                completed = self._explore_batch(batch, total, completed, database)
                 batch = []
         if batch:
-            self._explore_batch(batch, total, database)
-        self._record_cache_stats(database, hits_before, misses_before)
+            self._explore_batch(batch, total, completed, database)
+        self._record_counters(database, snapshot)
+        self._attach_provenance(database)
         return database
 
     def _explore_batch_size(self, total: int) -> int:
@@ -476,21 +634,30 @@ class ExplorationEngine:
         self,
         batch: list[tuple[int, dict]],
         total: int,
+        completed: int,
         database: ResultDatabase,
-    ) -> None:
+    ) -> int:
+        """Evaluate one batch; returns the updated completed-point count.
+
+        Labels derive from the *global* enumeration index (stable across
+        shards); progress counts positions this run actually evaluates, so
+        a shard reports ``k/shard_total``, not its global indices.
+        """
         items = [
             (point, f"{self.settings.label_prefix}{index:05d}") for index, point in batch
         ]
         records = self.evaluate_points(items)
-        for (index, _point), record in zip(batch, records):
+        for (_index, _point), record in zip(batch, records):
             database.add(record)
+            completed += 1
             if self.progress_callback is not None:
-                self.progress_callback(index + 1, total)
+                self.progress_callback(completed, total)
             elif (
                 self.settings.progress_every
-                and (index + 1) % self.settings.progress_every == 0
+                and completed % self.settings.progress_every == 0
             ):
-                print(f"explored {index + 1}/{total} configurations", flush=True)
+                print(f"explored {completed}/{total} configurations", flush=True)
+        return completed
 
     # -- analysis shortcuts -----------------------------------------------
 
@@ -508,15 +675,20 @@ def explore(
     metrics: list[str] | None = None,
     jobs: int | None = None,
     backend: EvaluationBackend | None = None,
+    store: ResultStore | None = None,
+    shard: ShardSpec | None = None,
 ) -> ResultDatabase:
     """One-shot exploration helper used by examples and benchmarks.
 
     ``jobs`` > 1 selects a :class:`ProcessPoolBackend` (ignored when an
     explicit ``backend`` is given); workers are shut down before returning.
+    ``store`` attaches a persistent result store (kept open for the caller);
+    ``shard`` restricts the run to one slice of the enumeration.
     """
     settings = ExplorationSettings(
         metrics=metrics or metric_keys(),
         sample=sample,
+        shard=shard,
     )
     engine = ExplorationEngine(
         space,
@@ -525,6 +697,7 @@ def explore(
         hot_sizes=hot_sizes,
         settings=settings,
         backend=backend or make_backend(jobs),
+        store=store,
     )
     try:
         return engine.explore()

@@ -109,11 +109,22 @@ def exploration_report(
         f"'{database[0].trace_name if len(database) else '?'}'."
     )
     lines.append(f"Pareto-optimal configurations: {analysis.pareto_count}")
-    if database.cache_hits or database.cache_misses:
+    if database.cache_hits or database.cache_misses or database.store_hits:
+        parts = [
+            f"Point evaluations: {database.cache_misses} profiled",
+            f"{database.cache_hits} answered from the memoisation cache",
+        ]
+        if database.store_hits or database.store_misses or database.store_loaded:
+            parts.append(f"{database.store_hits} answered from the result store")
+        lines.append(", ".join(parts))
+    if database.store_hits or database.store_misses or database.store_loaded:
         lines.append(
-            f"Point evaluations: {database.cache_misses} profiled, "
-            f"{database.cache_hits} answered from the memoisation cache"
+            f"Result store: {database.store_hits} hits, "
+            f"{database.store_misses} misses, "
+            f"{database.store_loaded} entries loaded from disk"
         )
+    if database.provenance is not None and database.provenance.shard:
+        lines.append(f"Shard: {database.provenance.shard} of the enumeration")
     lines.append("")
     lines.append(tradeoff_table(analysis))
     lines.append("")

@@ -74,6 +74,69 @@ class ExplorationRecord:
         )
 
 
+@dataclass(frozen=True)
+class Provenance:
+    """Where a :class:`ResultDatabase` came from, for resume and merge.
+
+    An artefact written by ``dmexplore explore`` is only mergeable with (or
+    comparable to) another artefact when they were produced from the same
+    evaluation context.  Provenance captures that context:
+
+    ``fingerprint``
+        The evaluation fingerprint of the producing engine (trace events,
+        memory hierarchy, energy model, hot sizes, profiler options — see
+        :attr:`repro.core.exploration.ExplorationEngine.fingerprint`).
+    ``space``
+        The parameter space as a plain ``{name: [values]}`` dict.
+    ``metric_version``
+        :data:`repro.core.store.METRIC_VERSION` at production time.
+    ``sample`` / ``sample_seed``
+        The sampling settings (``None`` sample = exhaustive enumeration).
+    ``shard``
+        ``"K/N"`` when the artefact holds one shard of the enumeration,
+        ``""`` for a complete (or merged) artefact.
+    """
+
+    fingerprint: str
+    space: dict
+    metric_version: int
+    sample: int | None = None
+    sample_seed: int = 0
+    shard: str = ""
+
+    def compatible_with(self, other: "Provenance") -> bool:
+        """True when two artefacts may be merged (everything but shard matches)."""
+        return (
+            self.fingerprint == other.fingerprint
+            and self.space == other.space
+            and self.metric_version == other.metric_version
+            and self.sample == other.sample
+            and self.sample_seed == other.sample_seed
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "space": self.space,
+            "metric_version": self.metric_version,
+            "sample": self.sample,
+            "sample_seed": self.sample_seed,
+            "shard": self.shard,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Provenance":
+        sample = data.get("sample")
+        return cls(
+            fingerprint=data.get("fingerprint", ""),
+            space=data.get("space", {}),
+            metric_version=int(data.get("metric_version", 0)),
+            sample=None if sample is None else int(sample),
+            sample_seed=int(data.get("sample_seed", 0)),
+            shard=data.get("shard", ""),
+        )
+
+
 class ResultDatabase:
     """In-memory store of exploration records with query and export helpers."""
 
@@ -81,9 +144,16 @@ class ResultDatabase:
         self.name = name
         self._records: list[ExplorationRecord] = []
         # Filled in by the producing engine/search: how many point
-        # evaluations were answered from the memoisation cache vs profiled.
+        # evaluations were answered from the memoisation cache (L1) vs the
+        # persistent result store (L2) vs freshly profiled.
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.store_loaded = 0
+        # Evaluation-context identity; set by the producing engine, required
+        # by ``dmexplore merge`` to validate artefact compatibility.
+        self.provenance: Provenance | None = None
 
     # -- collection ------------------------------------------------------
 
@@ -204,6 +274,14 @@ class ResultDatabase:
         }
         if self.cache_hits or self.cache_misses:
             payload["cache"] = {"hits": self.cache_hits, "misses": self.cache_misses}
+        if self.store_hits or self.store_misses or self.store_loaded:
+            payload["store"] = {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "loaded": self.store_loaded,
+            }
+        if self.provenance is not None:
+            payload["provenance"] = self.provenance.as_dict()
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
     @classmethod
@@ -213,6 +291,12 @@ class ResultDatabase:
         cache = payload.get("cache", {})
         database.cache_hits = int(cache.get("hits", 0))
         database.cache_misses = int(cache.get("misses", 0))
+        store = payload.get("store", {})
+        database.store_hits = int(store.get("hits", 0))
+        database.store_misses = int(store.get("misses", 0))
+        database.store_loaded = int(store.get("loaded", 0))
+        if "provenance" in payload:
+            database.provenance = Provenance.from_dict(payload["provenance"])
         for entry in payload.get("records", []):
             database.add(ExplorationRecord.from_dict(entry))
         return database
@@ -227,6 +311,12 @@ class ResultDatabase:
         }
         if self.cache_hits or self.cache_misses:
             data["cache"] = {"hits": self.cache_hits, "misses": self.cache_misses}
+        if self.store_hits or self.store_misses or self.store_loaded:
+            data["store"] = {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "loaded": self.store_loaded,
+            }
         if not self.feasible_records():
             return data
         for key in metric_keys():

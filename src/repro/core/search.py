@@ -146,12 +146,18 @@ class SearchStrategy:
         return child
 
     def run(self) -> ResultDatabase:
-        """Template method: snapshot cache counters around :meth:`_search`."""
+        """Template method: snapshot cache/store counters around :meth:`_search`.
+
+        The produced database carries the engine's provenance, so heuristic
+        results are attributable to an evaluation context (and a warm
+        persistent store benefits searches exactly as it does exhaustive
+        runs).
+        """
         database = ResultDatabase(name=f"{self.engine.trace.name}-{self.name}")
-        hits_before = self.engine.cache_hits
-        misses_before = self.engine.cache_misses
+        snapshot = self.engine._counter_snapshot()
         self._search(database)
-        self.engine._record_cache_stats(database, hits_before, misses_before)
+        self.engine._record_counters(database, snapshot)
+        self.engine._attach_provenance(database)
         return database
 
     def _search(self, database: ResultDatabase) -> None:

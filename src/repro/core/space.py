@@ -108,3 +108,13 @@ def vtc_parameter_space() -> ParameterSpace:
     spirit but smaller.
     """
     return default_parameter_space(max_dedicated_pools=2)
+
+
+#: Named parameter-space factories selectable from the CLI and the docs.
+#: One registry so ``dmexplore explore --space NAME``, the documentation and
+#: the tests can never drift apart on which spaces exist.
+STANDARD_SPACES = {
+    "default": default_parameter_space,
+    "compact": compact_parameter_space,
+    "smoke": smoke_parameter_space,
+}

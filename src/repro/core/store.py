@@ -1,0 +1,331 @@
+"""Persistent result store (L2) and result-artefact merging.
+
+The in-memory memoisation cache of :class:`~repro.core.exploration.
+ExplorationEngine` dies with the process; re-running an exploration over the
+same workload re-profiles every configuration from scratch.  This module
+makes repeated explorations incremental:
+
+* :class:`ResultStore` is an on-disk, append-only JSON-lines store of
+  evaluated points, keyed by ``(evaluation fingerprint, canonical parameter
+  point, metric version)``.  The engine consults it on every in-memory cache
+  miss — the memoisation cache is the L1 over this L2 — and writes every
+  fresh evaluation back, so a second run over the same trace performs zero
+  fresh profiler evaluations.
+* :func:`merge_databases` unions the :class:`~repro.core.results.
+  ResultDatabase` artefacts written by independent (typically sharded)
+  exploration runs into one database, after validating that the artefacts
+  came from the same evaluation context, and with the combined record order
+  (and therefore the recomputed Pareto front) identical to a single-run
+  exhaustive exploration.
+
+Design notes
+------------
+
+The store is a flat JSON-lines file (one self-describing entry per line)
+rather than SQLite: entries are append-only, the whole store is loaded into
+a dict at open time anyway, a partially written trailing line (crash,
+``kill -9``, full disk) is recoverable by simply skipping it, and the file
+can be inspected/filtered with standard text tools.  The store assumes a
+single writer per file; sharded runs give each shard its own store path and
+exchange results through ``dmexplore merge`` artefacts instead.
+
+:data:`METRIC_VERSION` is part of every key: bump it whenever the profiler
+or the metric definitions change semantically, and every stale entry is
+ignored (not deleted — rolling back the code revalidates them).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .parameters import ParameterSpace
+from .results import ExplorationRecord, Provenance, ResultDatabase
+
+#: Version of the metric semantics baked into store keys.  Bump when the
+#: profiler, the energy/timing model wiring, or the metric definitions
+#: change meaning, so persisted results from older code are never reused.
+METRIC_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """Raised when a result store file cannot be used at all."""
+
+
+class MergeError(ValueError):
+    """Raised when result artefacts are incompatible and cannot be merged."""
+
+
+def canonical_point_json(point: dict) -> str:
+    """Canonical JSON form of a parameter point (sorted keys, no spaces).
+
+    This is the point component of the on-disk store key; it matches
+    :func:`repro.core.exploration.canonical_point_key` in what it considers
+    equal (same name/value pairs, any insertion order).
+    """
+    return json.dumps(point, sort_keys=True, separators=(",", ":"))
+
+
+def default_store_path() -> Path:
+    """The ``--store``-without-a-path location: ``~/.cache/dmexplore``.
+
+    Respects ``XDG_CACHE_HOME`` when set.  The file is shared by all runs on
+    the machine; keys embed the evaluation fingerprint, so results from
+    different traces, hierarchies or spaces never collide.
+    """
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "dmexplore" / "results.jsonl"
+
+
+class ResultStore:
+    """Append-only on-disk store of evaluated parameter points.
+
+    Parameters
+    ----------
+    path:
+        The JSON-lines file to load from and append to.  Parent directories
+        are created; a missing file starts an empty store.
+    metric_version:
+        Key component isolating results across metric-semantics changes;
+        entries recorded under a different version are invisible (but kept
+        on disk).
+
+    Counters
+    --------
+    ``hits`` / ``misses``
+        :meth:`get` outcomes since the store was opened.
+    ``loaded``
+        Usable entries read from disk at open time (all versions).
+    ``corrupt_entries``
+        Lines skipped at open time because they were truncated or
+        malformed — the recovery path for a crashed writer.
+    """
+
+    def __init__(self, path: str | Path, metric_version: int = METRIC_VERSION) -> None:
+        self.path = Path(path)
+        self.metric_version = metric_version
+        self.hits = 0
+        self.misses = 0
+        self.loaded = 0
+        self.corrupt_entries = 0
+        self._entries: dict[tuple[str, str, int], dict] = {}
+        self._handle = None
+        self._needs_leading_newline = False
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        if self.path.exists() and self.path.is_dir():
+            raise StoreError(f"store path {self.path} is a directory")
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        # A writer that died mid-append leaves a trailing line without a
+        # newline; if that line parses it is a complete entry, otherwise it
+        # is skipped below like any other corrupt line.  Either way, the
+        # next append must start on a fresh line.
+        self._needs_leading_newline = bool(raw) and not raw.endswith(b"\n")
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            entry = self._parse_entry(line)
+            if entry is None:
+                self.corrupt_entries += 1
+                continue
+            key, payload = entry
+            # Last write wins: a re-recorded point supersedes older entries.
+            self._entries[key] = payload
+            self.loaded += 1
+
+    @staticmethod
+    def _parse_entry(line: str) -> tuple[tuple[str, str, int], dict] | None:
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            fingerprint = data["fingerprint"]
+            point = data["point"]
+            version = int(data["metric_version"])
+            record = data["record"]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if not isinstance(fingerprint, str) or not isinstance(point, dict):
+            return None
+        try:
+            # Validate the record payload eagerly so a corrupt entry surfaces
+            # at load time (and is counted), not as a crash mid-exploration.
+            ExplorationRecord.from_dict(record)
+        except (KeyError, TypeError, ValueError):
+            return None
+        return (fingerprint, canonical_point_json(point), version), record
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str, point: dict) -> ExplorationRecord | None:
+        """Look one point up; returns a fresh record object or ``None``.
+
+        Every call constructs a new :class:`ExplorationRecord` from the
+        stored payload, so callers may mutate the result (relabelling,
+        database index assignment) without corrupting the store.
+        """
+        key = (fingerprint, canonical_point_json(point), self.metric_version)
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ExplorationRecord.from_dict(payload)
+
+    def put(self, fingerprint: str, point: dict, record: ExplorationRecord) -> bool:
+        """Persist one evaluated point; returns False when already present.
+
+        The entry is appended to the file and flushed immediately, so a
+        crash never loses more than the line being written — which the next
+        open recovers from by skipping it.
+        """
+        key = (fingerprint, canonical_point_json(point), self.metric_version)
+        if key in self._entries:
+            return False
+        payload = record.as_dict()
+        self._entries[key] = payload
+        line = json.dumps(
+            {
+                "fingerprint": fingerprint,
+                "point": point,
+                "metric_version": self.metric_version,
+                "record": payload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        handle = self._ensure_handle()
+        if self._needs_leading_newline:
+            handle.write("\n")
+            self._needs_leading_newline = False
+        handle.write(line + "\n")
+        handle.flush()
+        return True
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def close(self) -> None:
+        """Close the append handle (idempotent; the store stays queryable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultStore(path={str(self.path)!r}, entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# -- merging shard artefacts -------------------------------------------------
+
+
+def merge_databases(
+    databases: list[ResultDatabase], name: str | None = None
+) -> ResultDatabase:
+    """Union result artefacts from sharded runs into one database.
+
+    Every input must carry :class:`~repro.core.results.Provenance` and all
+    provenances must be mutually compatible (same evaluation fingerprint,
+    parameter space, metric version and sampling settings); two artefacts
+    recording the same parameter point are rejected as overlapping shards.
+    Records are re-ordered by their global point index in the parameter
+    space — the enumeration order of a single exhaustive run — so merging
+    the shards of a partition reproduces the single-run database (and its
+    Pareto front) exactly.  For a partition whose shards ran cold the
+    merged artefact is byte-identical with the single run's JSON; shards
+    answered from a warm result store produce the same records and Pareto
+    front but smaller cache counters (they profiled less).
+
+    Raises :class:`MergeError` on any incompatibility.
+    """
+    if not databases:
+        raise MergeError("nothing to merge: no result databases given")
+    reference = databases[0].provenance
+    if reference is None:
+        raise MergeError(
+            f"artefact '{databases[0].name}' has no provenance; it was not "
+            "produced by a shard-aware exploration run"
+        )
+    for database in databases[1:]:
+        provenance = database.provenance
+        if provenance is None:
+            raise MergeError(
+                f"artefact '{database.name}' has no provenance; it was not "
+                "produced by a shard-aware exploration run"
+            )
+        if provenance.fingerprint != reference.fingerprint:
+            raise MergeError(
+                f"artefact '{database.name}' was produced from a different "
+                f"workload/platform (fingerprint {provenance.fingerprint[:12]}… "
+                f"!= {reference.fingerprint[:12]}…)"
+            )
+        if provenance.space != reference.space:
+            raise MergeError(
+                f"artefact '{database.name}' explored a different parameter space"
+            )
+        if not provenance.compatible_with(reference):
+            raise MergeError(
+                f"artefact '{database.name}' is incompatible with "
+                f"'{databases[0].name}' (metric version or sampling settings differ)"
+            )
+    space = ParameterSpace.from_dict(reference.space)
+    indexed: dict[int, tuple[ExplorationRecord, str]] = {}
+    for database in databases:
+        for record in database:
+            index = space.index_of(record.parameters)
+            if index in indexed:
+                _, other = indexed[index]
+                raise MergeError(
+                    f"point {index} appears in both '{other}' and "
+                    f"'{database.name}': shards overlap"
+                )
+            indexed[index] = (record, database.name)
+    merged = ResultDatabase(name=name or databases[0].name)
+    for index in sorted(indexed):
+        merged.add(indexed[index][0])
+    # Cache counters sum meaningfully: total profiled work across the
+    # shards equals what a single cold run would have profiled, which keeps
+    # a cold-partition merge byte-identical with the single-run artefact.
+    # Store counters do NOT survive the merge: they describe how each shard
+    # *executed* (its private store's hits/loads), not what it produced, and
+    # e.g. summing `loaded` over shards sharing one store would triple-count.
+    merged.cache_hits = sum(database.cache_hits for database in databases)
+    merged.cache_misses = sum(database.cache_misses for database in databases)
+    merged.provenance = Provenance(
+        fingerprint=reference.fingerprint,
+        space=reference.space,
+        metric_version=reference.metric_version,
+        sample=reference.sample,
+        sample_seed=reference.sample_seed,
+        shard="",
+    )
+    return merged
+
+
+def load_and_merge(paths: list[str | Path], name: str | None = None) -> ResultDatabase:
+    """Load JSON artefacts from ``paths`` and :func:`merge_databases` them."""
+    return merge_databases([ResultDatabase.from_json(path) for path in paths], name=name)

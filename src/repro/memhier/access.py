@@ -24,6 +24,7 @@ class LevelAccesses:
 
     @property
     def total(self) -> int:
+        """Reads plus writes attributed to this module."""
         return self.reads + self.writes
 
 
@@ -42,23 +43,28 @@ class AccessBreakdown:
     dispatch_module: str = ""
 
     def level(self, module_name: str) -> LevelAccesses:
+        """The (created-on-demand) per-module counter for ``module_name``."""
         if module_name not in self.levels:
             self.levels[module_name] = LevelAccesses(module_name)
         return self.levels[module_name]
 
     @property
     def total_reads(self) -> int:
+        """Reads summed over every level."""
         return sum(level.reads for level in self.levels.values())
 
     @property
     def total_writes(self) -> int:
+        """Writes summed over every level."""
         return sum(level.writes for level in self.levels.values())
 
     @property
     def total(self) -> int:
+        """All accesses across the hierarchy (the paper's accesses metric)."""
         return self.total_reads + self.total_writes
 
     def as_dict(self) -> dict:
+        """Plain-dict form (module -> reads/writes/total) for JSON reports."""
         return {
             name: {"reads": level.reads, "writes": level.writes, "total": level.total}
             for name, level in self.levels.items()

@@ -100,6 +100,7 @@ class EnergyModel:
         return self.memory_cycles(breakdown) + operation_count * self.cpu_overhead_cycles
 
     def describe(self) -> str:
+        """One-line summary of the model constants, for reports and logs."""
         return (
             f"EnergyModel(hierarchy={self.hierarchy.name}, "
             f"cpu_overhead={self.cpu_overhead_cycles} cycles/op, "

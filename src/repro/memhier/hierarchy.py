@@ -61,10 +61,12 @@ class MemoryHierarchy:
 
     @property
     def fastest(self) -> MemoryModule:
+        """The first (closest, lowest-latency) module — e.g. the scratchpad."""
         return self.modules[0]
 
     @property
     def slowest(self) -> MemoryModule:
+        """The last (farthest, highest-latency) module — e.g. main memory."""
         return self.modules[-1]
 
     @property
@@ -82,6 +84,7 @@ class MemoryHierarchy:
         return total
 
     def describe(self) -> str:
+        """Multi-line listing of the hierarchy's levels, for reports."""
         lines = [f"Memory hierarchy '{self.name}':"]
         for level, module in enumerate(self.modules):
             lines.append(f"  L{level}: {module.describe()}")

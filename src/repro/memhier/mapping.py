@@ -146,6 +146,7 @@ class PoolMapping:
                 )
 
     def describe(self) -> str:
+        """Multi-line listing of pool placements, for reports."""
         lines = [f"Pool mapping over hierarchy '{self.hierarchy.name}':"]
         for name, placement in sorted(self.placements.items()):
             reserved = (
@@ -167,6 +168,7 @@ class MappedPools:
     spaces: dict[str, PoolAddressSpace] = field(default_factory=dict)
 
     def space_for(self, pool_name: str) -> PoolAddressSpace:
+        """The (created-on-demand) bounded address space of ``pool_name``."""
         if pool_name not in self.spaces:
             self.spaces[pool_name] = self.mapping.address_space_for(pool_name)
         return self.spaces[pool_name]

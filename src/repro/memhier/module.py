@@ -58,6 +58,7 @@ class MemoryModule:
 
     @property
     def is_bounded(self) -> bool:
+        """True when the module has a finite capacity that pools can exhaust."""
         return self.size is not None
 
     def energy_for(self, reads: int, writes: int) -> float:
@@ -73,6 +74,7 @@ class MemoryModule:
         return accesses * self.latency_cycles
 
     def describe(self) -> str:
+        """One-line summary (name, kind, size, energies, latency) for reports."""
         size = "unbounded" if self.size is None else f"{self.size} B"
         return (
             f"{self.name} ({self.kind}, {size}, "

@@ -8,6 +8,7 @@ profile, size histogram, hot sizes).
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
@@ -107,6 +108,26 @@ class AllocationTrace:
                         f"event {index}: double free of id {event.request_id}"
                     )
                 live.remove(event.request_id)
+
+    # -- identity --------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of the event stream (hex SHA-256).
+
+        Two traces with the same events — whatever their :attr:`name` — map
+        to the same fingerprint, so a renamed copy of a workload trace still
+        hits the persistent result store.  The fingerprint covers everything
+        that can influence profiling (kind, request id, size, timestamp and
+        tag of every event, in order); it is the trace component of the
+        result-store key and of result-artefact provenance.
+        """
+        digest = hashlib.sha256()
+        for event in self.events:
+            digest.update(
+                f"{event.kind.value}|{event.request_id}|{event.size}"
+                f"|{event.timestamp}|{event.tag}\n".encode()
+            )
+        return digest.hexdigest()
 
     # -- statistics -----------------------------------------------------------
 

@@ -59,6 +59,7 @@ class TraceBuilder:
 
     @property
     def clock(self) -> int:
+        """Current logical time (timestamp assigned to the next event)."""
         return self._clock
 
     def tick(self, amount: int = 1) -> None:

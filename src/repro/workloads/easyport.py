@@ -93,6 +93,9 @@ class EasyportWorkload(Workload):
     # -- generation -----------------------------------------------------------
 
     def generate(self, seed: int = 0) -> AllocationTrace:
+        """Produce one run: long-lived per-flow state allocated at start-up,
+        then bursty per-packet descriptor/payload/control allocations until
+        ``packets`` packets have been emitted, then flow-state tear-down."""
         builder = TraceBuilder(self.name, seed)
         rng = builder.rng
         sizes = list(self.packet_sizes)
@@ -144,6 +147,7 @@ class EasyportWorkload(Workload):
         return [size for size, _weight in ordered]
 
     def describe(self) -> str:
+        """One-line description: packet/port counts and the hot size set."""
         return (
             f"Easyport-style port aggregation: {self.packets} packets over "
             f"{self.ports} ports, hot sizes {self.hot_sizes()}"

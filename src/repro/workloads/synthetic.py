@@ -27,6 +27,7 @@ class UniformRandomWorkload(Workload):
     name: str = "uniform_random"
 
     def generate(self, seed: int = 0) -> AllocationTrace:
+        """Produce ``operations`` allocations with i.i.d. sizes and lifetimes."""
         builder = TraceBuilder(self.name, seed)
         for _ in range(self.operations):
             size = builder.rng.randint(self.min_size, self.max_size)
@@ -37,6 +38,7 @@ class UniformRandomWorkload(Workload):
         return builder.finish()
 
     def describe(self) -> str:
+        """One-line description: operation count and size range."""
         return (
             f"{self.operations} uniform allocations of "
             f"{self.min_size}-{self.max_size} bytes"
@@ -64,6 +66,8 @@ class FixedSizesWorkload(Workload):
             raise ValueError("weights must match sizes in length")
 
     def generate(self, seed: int = 0) -> AllocationTrace:
+        """Draw every allocation size from ``sizes`` (weighted when given),
+        with exponentially distributed lifetimes around ``mean_lifetime``."""
         builder = TraceBuilder(self.name, seed)
         for _ in range(self.operations):
             size = builder.rng.choices(self.sizes, weights=self.weights)[0]
@@ -74,6 +78,7 @@ class FixedSizesWorkload(Workload):
         return builder.finish()
 
     def describe(self) -> str:
+        """One-line description: operation count and the fixed size set."""
         return f"{self.operations} allocations from sizes {self.sizes}"
 
 
@@ -93,6 +98,9 @@ class BurstyWorkload(Workload):
     name: str = "bursty"
 
     def generate(self, seed: int = 0) -> AllocationTrace:
+        """Emit ``bursts`` rounds of back-to-back allocations, each followed
+        by a quiet period in which the whole burst is freed (in random
+        order, to exercise free-list reordering)."""
         builder = TraceBuilder(self.name, seed)
         for _burst in range(self.bursts):
             live_ids = []
@@ -108,6 +116,7 @@ class BurstyWorkload(Workload):
         return builder.finish()
 
     def describe(self) -> str:
+        """One-line description: burst count, burst length and size range."""
         return (
             f"{self.bursts} bursts of {self.burst_length} allocations "
             f"({self.min_size}-{self.max_size} bytes)"
@@ -132,6 +141,9 @@ class PhasedWorkload(Workload):
     name: str = "phased"
 
     def generate(self, seed: int = 0) -> AllocationTrace:
+        """Run the configured phases back to back; a long quiet gap at every
+        phase boundary lets the previous phase's objects die, recreating the
+        lifetime clustering of stage-structured applications."""
         builder = TraceBuilder(self.name, seed)
         for phase_index, phase in enumerate(self.phases):
             operations = int(phase.get("operations", 100))
@@ -149,4 +161,5 @@ class PhasedWorkload(Workload):
         return builder.finish()
 
     def describe(self) -> str:
+        """One-line description: number of configured phases."""
         return f"{len(self.phases)}-phase workload"

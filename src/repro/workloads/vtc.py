@@ -76,6 +76,9 @@ class VTCWorkload(Workload):
         return max(1, (self.image_width * self.image_height) // (4**level))
 
     def generate(self, seed: int = 0) -> AllocationTrace:
+        """Produce one decode run: per wavelet level, bitstream-segment
+        parsing, zero-tree node construction and stripe-buffered inverse
+        transform, with the level's nodes released once it reconstructs."""
         builder = TraceBuilder(self.name, seed)
         rng = builder.rng
 
@@ -130,6 +133,7 @@ class VTCWorkload(Workload):
         return [TREE_NODE_BYTES, BITSTREAM_SEGMENT_BYTES, STRIPE_BUFFER_BYTES]
 
     def describe(self) -> str:
+        """One-line description: texture dimensions and wavelet depth."""
         return (
             f"MPEG-4 VTC still texture decoding of a "
             f"{self.image_width}x{self.image_height} texture, "

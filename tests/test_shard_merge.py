@@ -1,0 +1,297 @@
+"""Unit tests for sharded exhaustive exploration and artefact merging.
+
+Covers the deterministic shard partition (`ShardSpec`), the acceptance
+criterion that merging the artefacts of a disjoint shard partition
+reproduces the single-run exhaustive database byte-identically, and the
+`merge` validation paths (mismatched fingerprints, spaces, overlapping
+shards, missing provenance).
+"""
+
+import pytest
+
+from repro.core.exploration import (
+    ExplorationEngine,
+    ExplorationSettings,
+    ShardSpec,
+)
+from repro.core.results import Provenance, ResultDatabase
+from repro.core.space import smoke_parameter_space
+from repro.core.store import MergeError, ResultStore, load_and_merge, merge_databases
+from repro.workloads.synthetic import FixedSizesWorkload, UniformRandomWorkload
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return UniformRandomWorkload(operations=300).generate(seed=7)
+
+
+def explore_shard(trace, shard=None, sample=None):
+    settings = ExplorationSettings(shard=shard, sample=sample)
+    return ExplorationEngine(smoke_parameter_space(), trace, settings=settings).explore()
+
+
+class TestShardSpec:
+    def test_parse(self):
+        spec = ShardSpec.parse("2/3")
+        assert (spec.index, spec.count) == (2, 3)
+        assert spec.label == "2/3"
+
+    @pytest.mark.parametrize("text", ["", "2", "2/", "/3", "a/b", "1/2/3", "0/3", "4/3"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            ShardSpec.parse(text)
+
+    def test_partition_is_exact(self):
+        total = 17
+        owned = [
+            position
+            for k in (1, 2, 3)
+            for position in range(total)
+            if ShardSpec(k, 3).owns(position)
+        ]
+        assert sorted(owned) == list(range(total))
+        assert sum(ShardSpec(k, 3).size_of(total) for k in (1, 2, 3)) == total
+
+    def test_single_shard_owns_everything(self):
+        spec = ShardSpec(1, 1)
+        assert all(spec.owns(i) for i in range(10))
+
+
+class TestShardedExploration:
+    def test_shard_sizes_sum_to_space(self, small_trace):
+        total = smoke_parameter_space().size()
+        shards = [explore_shard(small_trace, shard=ShardSpec(k, 3)) for k in (1, 2, 3)]
+        assert sum(len(shard) for shard in shards) == total
+
+    def test_shard_keeps_global_labels(self, small_trace):
+        database = explore_shard(small_trace, shard=ShardSpec(2, 3))
+        space = smoke_parameter_space()
+        for record in database:
+            index = space.index_of(record.parameters)
+            assert record.configuration.label == f"cfg{index:05d}"
+
+    def test_shard_provenance(self, small_trace):
+        database = explore_shard(small_trace, shard=ShardSpec(2, 3))
+        assert database.provenance is not None
+        assert database.provenance.shard == "2/3"
+        assert database.provenance.space == smoke_parameter_space().as_dict()
+
+    def test_sharded_sampling(self, small_trace):
+        full = explore_shard(small_trace, sample=6)
+        shards = [
+            explore_shard(small_trace, shard=ShardSpec(k, 2), sample=6) for k in (1, 2)
+        ]
+        assert sum(len(shard) for shard in shards) == len(full)
+        merged = merge_databases(shards)
+        assert [r.configuration_id for r in merged] == [
+            r.configuration_id for r in full
+        ]
+
+
+class TestMerge:
+    def test_merge_reproduces_single_run_byte_identically(self, tmp_path, small_trace):
+        """Acceptance: merge of 3 disjoint shards == one exhaustive run."""
+        full = explore_shard(small_trace)
+        full_path = tmp_path / "full.json"
+        full.to_json(full_path)
+
+        shard_paths = []
+        for k in (1, 2, 3):
+            database = explore_shard(small_trace, shard=ShardSpec(k, 3))
+            path = tmp_path / f"shard{k}.json"
+            database.to_json(path)
+            shard_paths.append(path)
+
+        merged = load_and_merge(shard_paths)
+        merged_path = tmp_path / "merged.json"
+        merged.to_json(merged_path)
+
+        assert merged_path.read_bytes() == full_path.read_bytes()
+        assert [r.configuration_id for r in merged.pareto_records()] == [
+            r.configuration_id for r in full.pareto_records()
+        ]
+
+    def test_merge_order_is_input_order_independent(self, small_trace):
+        shards = [explore_shard(small_trace, shard=ShardSpec(k, 3)) for k in (1, 2, 3)]
+        forward = merge_databases(shards)
+        backward = merge_databases(list(reversed(shards)), name=forward.name)
+        assert [r.configuration_id for r in forward] == [
+            r.configuration_id for r in backward
+        ]
+
+    def test_merge_rejects_empty_input(self):
+        with pytest.raises(MergeError, match="nothing to merge"):
+            merge_databases([])
+
+    def test_merge_rejects_missing_provenance(self, small_trace):
+        shard = explore_shard(small_trace, shard=ShardSpec(1, 2))
+        naked = ResultDatabase(name="no-provenance")
+        with pytest.raises(MergeError, match="no provenance"):
+            merge_databases([shard, naked])
+
+    def test_merge_rejects_mismatched_fingerprints(self, small_trace):
+        """Shards of different workloads must not silently union."""
+        a = explore_shard(small_trace, shard=ShardSpec(1, 2))
+        other_trace = FixedSizesWorkload().generate(seed=7)
+        b = explore_shard(other_trace, shard=ShardSpec(2, 2))
+        with pytest.raises(MergeError, match="different workload"):
+            merge_databases([a, b])
+
+    def test_merge_rejects_mismatched_spaces(self, small_trace):
+        a = explore_shard(small_trace, shard=ShardSpec(1, 2))
+        b = explore_shard(small_trace, shard=ShardSpec(2, 2))
+        b.provenance = Provenance(
+            fingerprint=a.provenance.fingerprint,
+            space={"num_dedicated_pools": [0, 1]},
+            metric_version=a.provenance.metric_version,
+        )
+        with pytest.raises(MergeError, match="different parameter space"):
+            merge_databases([a, b])
+
+    def test_merge_rejects_mismatched_metric_versions(self, small_trace):
+        a = explore_shard(small_trace, shard=ShardSpec(1, 2))
+        b = explore_shard(small_trace, shard=ShardSpec(2, 2))
+        b.provenance = Provenance(
+            fingerprint=a.provenance.fingerprint,
+            space=a.provenance.space,
+            metric_version=a.provenance.metric_version + 1,
+        )
+        with pytest.raises(MergeError, match="incompatible"):
+            merge_databases([a, b])
+
+    def test_merge_rejects_overlapping_shards(self, small_trace):
+        a = explore_shard(small_trace, shard=ShardSpec(1, 2))
+        with pytest.raises(MergeError, match="overlap"):
+            merge_databases([a, a])
+
+    def test_merge_counts_are_summed(self, small_trace):
+        shards = [explore_shard(small_trace, shard=ShardSpec(k, 3)) for k in (1, 2, 3)]
+        merged = merge_databases(shards)
+        assert merged.cache_misses == sum(shard.cache_misses for shard in shards)
+        assert merged.provenance.shard == ""
+
+    def test_merge_drops_store_counters(self, tmp_path, small_trace):
+        """Store counters describe shard execution, not results: a partition
+        run cold *with* per-shard stores still merges byte-identically with
+        a plain (store-less) single run."""
+        full_path = tmp_path / "full.json"
+        explore_shard(small_trace).to_json(full_path)
+        shards = []
+        for k in (1, 2, 3):
+            with ResultStore(tmp_path / f"store{k}.jsonl") as store:
+                settings = ExplorationSettings(shard=ShardSpec(k, 3))
+                engine = ExplorationEngine(
+                    smoke_parameter_space(), small_trace, settings=settings, store=store
+                )
+                shards.append(engine.explore())
+        assert all(shard.store_misses for shard in shards)
+        merged = merge_databases(shards)
+        assert (merged.store_hits, merged.store_misses, merged.store_loaded) == (0, 0, 0)
+        merged_path = tmp_path / "merged.json"
+        merged.to_json(merged_path)
+        assert merged_path.read_bytes() == full_path.read_bytes()
+
+    def test_partial_merge_is_allowed(self, small_trace):
+        """Two of three shards merge fine — the union is just incomplete."""
+        shards = [explore_shard(small_trace, shard=ShardSpec(k, 3)) for k in (1, 2)]
+        merged = merge_databases(shards)
+        assert len(merged) == sum(len(shard) for shard in shards)
+
+
+class TestCLIShardMerge:
+    def run_cli(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def base_args(self, out):
+        return [
+            "explore",
+            "--workload",
+            "uniform",
+            "--space",
+            "smoke",
+            "--seed",
+            "1",
+            "--out",
+            str(out),
+        ]
+
+    def test_cli_shard_merge_round_trip(self, tmp_path, capsys):
+        paths = []
+        for k in (1, 2, 3):
+            out = tmp_path / f"shard{k}.json"
+            assert self.run_cli(self.base_args(out) + ["--shard", f"{k}/3"]) == 0
+            paths.append(out)
+        full = tmp_path / "full.json"
+        assert self.run_cli(self.base_args(full)) == 0
+        merged = tmp_path / "merged.json"
+        code = self.run_cli(
+            ["merge", *map(str, paths), "--out", str(merged)]
+        )
+        assert code == 0
+        assert "Pareto-optimal configurations after merge" in capsys.readouterr().out
+        assert merged.read_bytes() == full.read_bytes()
+
+    def test_cli_merge_rejects_incompatible(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert self.run_cli(self.base_args(a) + ["--shard", "1/2"]) == 0
+        assert (
+            self.run_cli(
+                [
+                    "explore",
+                    "--workload",
+                    "bursty",
+                    "--space",
+                    "smoke",
+                    "--seed",
+                    "1",
+                    "--shard",
+                    "2/2",
+                    "--out",
+                    str(b),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = self.run_cli(["merge", str(a), str(b), "--out", str(tmp_path / "m.json")])
+        assert code == 2
+        assert "different workload" in capsys.readouterr().err
+
+    def test_cli_rejects_shard_with_heuristic_strategy(self, tmp_path, capsys):
+        code = self.run_cli(
+            self.base_args(tmp_path / "x.json")
+            + ["--shard", "1/2", "--strategy", "random"]
+        )
+        assert code == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_cli_store_flag(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        out = tmp_path / "a.json"
+        assert self.run_cli(self.base_args(out) + ["--store", str(store)]) == 0
+        assert store.exists()
+        capsys.readouterr()
+        assert self.run_cli(self.base_args(out) + ["--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "0 profiled" in output
+        assert "answered from the result store" in output
+
+    def test_cli_store_open_failure_is_clean(self, tmp_path, capsys):
+        """A bad --store path reports on stderr (exit 2), no traceback."""
+        code = self.run_cli(
+            self.base_args(tmp_path / "x.json") + ["--store", str(tmp_path)]
+        )
+        assert code == 2
+        assert "cannot open result store" in capsys.readouterr().err
+
+    def test_cli_heuristic_strategy(self, tmp_path):
+        out = tmp_path / "h.json"
+        code = self.run_cli(
+            self.base_args(out) + ["--strategy", "random", "--budget", "5"]
+        )
+        assert code == 0
+        database = ResultDatabase.from_json(out)
+        assert 0 < len(database) <= 5
