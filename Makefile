@@ -13,6 +13,11 @@ bench:
 verify-docs:
 	$(RUN) -m pytest tests/test_docs.py -q
 
+# Benchmark smoke: the whole benchmark suite in quick mode (small sizes, no
+# --benchmark-only timing assertions) — proves every experiment still runs.
+verify-bench:
+	$(RUN) -m pytest benchmarks/ -q
+
 # Distributed-story verification: three shard runs, merged, must reproduce
 # the single-run exhaustive database byte-identically.  CI runs the same
 # flow with the shards on separate matrix workers.
@@ -31,4 +36,4 @@ verify-shards:
 	@echo "3-shard merge reproduces the single-run database byte-identically"
 	rm -rf $(SHARD_DIR)
 
-.PHONY: verify bench verify-docs verify-shards
+.PHONY: verify bench verify-docs verify-bench verify-shards

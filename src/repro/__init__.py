@@ -39,6 +39,7 @@ from .core import (
     ExplorationEngine,
     ExplorationRecord,
     ExplorationSettings,
+    IncrementalParetoFront,
     MergeError,
     Parameter,
     ParameterSpace,
@@ -46,9 +47,13 @@ from .core import (
     ProcessPoolBackend,
     Provenance,
     ResultDatabase,
+    ResultSink,
     ResultStore,
     SerialBackend,
     ShardSpec,
+    StoreRecordSource,
+    StreamingParetoSink,
+    StreamingResultView,
     TradeoffAnalysis,
     build_allocator,
     compact_parameter_space,
@@ -93,6 +98,7 @@ __all__ = [
     "ExplorationEngine",
     "ExplorationRecord",
     "ExplorationSettings",
+    "IncrementalParetoFront",
     "METRIC_VERSION",
     "MemoryHierarchy",
     "MemoryModule",
@@ -107,9 +113,13 @@ __all__ = [
     "Profiler",
     "Provenance",
     "ResultDatabase",
+    "ResultSink",
     "ResultStore",
     "SerialBackend",
     "ShardSpec",
+    "StoreRecordSource",
+    "StreamingParetoSink",
+    "StreamingResultView",
     "TradeoffAnalysis",
     "VTCWorkload",
     "__version__",

@@ -12,6 +12,9 @@
     print the Pareto-optimal configurations of a stored database,
 * ``dmexplore report results.json --export-dir out/``
     print the dashboard and export the CSV / gnuplot artefacts,
+* ``dmexplore report --store cache.jsonl --workload uniform --space smoke``
+    stream the dashboard straight from a persistent result store — no JSON
+    artefact, no whole-run load, O(front) record memory,
 * ``dmexplore trace --workload vtc --out vtc.trace``
     generate and save a workload trace for inspection or reuse.
 
@@ -31,7 +34,7 @@ from .core.exploration import (
     make_backend,
 )
 from .core.reporting import describe_record, exploration_report
-from .core.results import ResultDatabase
+from .core.results import ResultDatabase, StreamingResultView
 from .core.search import (
     EvolutionarySearch,
     HillClimbSearch,
@@ -43,6 +46,7 @@ from .core.store import (
     MergeError,
     ResultStore,
     StoreError,
+    StoreRecordSource,
     default_store_path,
     merge_databases,
 )
@@ -158,6 +162,25 @@ def build_parser() -> argparse.ArgumentParser:
             "merge the shard artefacts with 'dmexplore merge'"
         ),
     )
+    explore_parser.add_argument(
+        "--prune",
+        action="store_true",
+        help=(
+            "heuristic strategies only: skip candidates whose prefix-replay "
+            "metrics are already dominated by the live Pareto front, before "
+            "full profiling"
+        ),
+    )
+    explore_parser.add_argument(
+        "--prune-fraction",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help=(
+            "fraction of the trace replayed to predict a candidate's metrics "
+            "when --prune is on (default 0.25)"
+        ),
+    )
 
     merge_parser = subparsers.add_parser(
         "merge", help="union shard artefacts into one result database"
@@ -172,7 +195,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     report_parser = subparsers.add_parser("report", help="print the exploration dashboard")
-    report_parser.add_argument("database", type=Path)
+    report_parser.add_argument(
+        "database",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="JSON artefact written by 'explore' or 'merge' (or use --store)",
+    )
+    report_parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream records straight from a persistent result store instead "
+            "of a JSON artefact; --workload/--space/--hierarchy/--seed select "
+            "the evaluation context, exactly as they did for 'explore'"
+        ),
+    )
+    report_parser.add_argument("--workload", choices=sorted(WORKLOADS), default="easyport")
+    report_parser.add_argument("--space", choices=sorted(SPACES), default="compact")
+    report_parser.add_argument("--hierarchy", choices=sorted(HIERARCHIES), default="2level")
+    report_parser.add_argument("--seed", type=int, default=2006)
+    report_parser.add_argument(
+        "--metrics",
+        nargs="+",
+        choices=metric_keys(),
+        default=None,
+        help="emit (and extract the Pareto front over) only these metrics",
+    )
     report_parser.add_argument("--export-dir", type=Path, default=None)
     report_parser.add_argument("--x-metric", choices=metric_keys(), default="accesses")
     report_parser.add_argument("--y-metric", choices=metric_keys(), default="footprint")
@@ -188,6 +239,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_explore(args: argparse.Namespace) -> int:
     if args.shard is not None and args.strategy != "exhaustive":
         print("error: --shard only applies to --strategy exhaustive", file=sys.stderr)
+        return 2
+    if args.prune and args.strategy == "exhaustive":
+        print(
+            "error: --prune only applies to heuristic strategies "
+            "(exhaustive runs must evaluate every point)",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 < args.prune_fraction < 1.0:
+        print("error: --prune-fraction must be in (0, 1)", file=sys.stderr)
         return 2
     workload = WORKLOADS[args.workload]()
     trace = workload.generate(seed=args.seed)
@@ -240,11 +301,16 @@ def _run_strategy(engine: ExplorationEngine, args: argparse.Namespace) -> Result
         return engine.explore()
     budget = SearchBudget(evaluations=args.budget, seed=args.seed)
     metrics = args.metrics or metric_keys()
+    options = {
+        "metrics": metrics,
+        "prune": args.prune,
+        "prune_fraction": args.prune_fraction,
+    }
     if args.strategy == "random":
-        return RandomSearch(engine, budget).run()
+        return RandomSearch(engine, budget, **options).run()
     if args.strategy == "hillclimb":
-        return HillClimbSearch(engine, budget, metrics=metrics).run()
-    return EvolutionarySearch(engine, budget, metrics=metrics).run()
+        return HillClimbSearch(engine, budget, **options).run()
+    return EvolutionarySearch(engine, budget, **options).run()
 
 
 def _command_merge(args: argparse.Namespace) -> int:
@@ -278,14 +344,67 @@ def _command_pareto(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    database = ResultDatabase.from_json(args.database)
-    print(dashboard(database, x_metric=args.x_metric, y_metric=args.y_metric))
+    if (args.database is None) == (args.store is None):
+        print(
+            "error: report needs exactly one input: a JSON artefact or --store PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store is not None:
+        database = _streamed_view(args)
+        if database is None:
+            return 2
+    else:
+        database = ResultDatabase.from_json(args.database)
+    print(
+        dashboard(
+            database,
+            x_metric=args.x_metric,
+            y_metric=args.y_metric,
+            metrics=args.metrics,
+        )
+    )
     if args.export_dir is not None:
-        paths = export_artifacts(database, args.export_dir)
+        paths = export_artifacts(database, args.export_dir, metrics=args.metrics)
         print("\nexported artefacts:")
         for kind, path in sorted(paths.items()):
             print(f"  {kind}: {path}")
     return 0
+
+
+def _streamed_view(args: argparse.Namespace) -> StreamingResultView | None:
+    """Build the streaming report view for ``report --store``.
+
+    The workload/space/hierarchy/seed flags reconstruct the evaluation
+    fingerprint exactly as ``explore`` computed it, then the store file is
+    replayed as a record stream in global enumeration order — the report is
+    byte-identical to one over the merged JSON artefacts of the same runs,
+    without ever materialising the records.
+    """
+    if not args.store.exists():
+        print(f"error: result store {args.store} does not exist", file=sys.stderr)
+        return None
+    workload = WORKLOADS[args.workload]()
+    trace = workload.generate(seed=args.seed)
+    space = SPACES[args.space]()
+    hierarchy = HIERARCHIES[args.hierarchy]()
+    engine = ExplorationEngine(space, trace, hierarchy=hierarchy)
+    try:
+        source = StoreRecordSource(args.store, engine.fingerprint, space=space)
+    except (StoreError, OSError) as error:
+        print(f"error: cannot read result store: {error}", file=sys.stderr)
+        return None
+    if len(source) == 0:
+        print(
+            f"error: {args.store} holds no records for workload "
+            f"'{args.workload}', space '{args.space}', seed {args.seed} "
+            f"(skipped: {source.foreign_entries} other contexts, "
+            f"{source.outside_space} outside the space, "
+            f"{source.corrupt_entries} corrupt)",
+            file=sys.stderr,
+        )
+        return None
+    return StreamingResultView(source, name=f"{trace.name}-exploration")
 
 
 def _command_trace(args: argparse.Namespace) -> int:

@@ -59,7 +59,7 @@ from ..profiling.tracer import AllocationTrace
 from .configuration import AllocatorConfiguration, configuration_from_point
 from .factory import AllocatorFactory
 from .parameters import ParameterSpace
-from .results import ExplorationRecord, Provenance, ResultDatabase
+from .results import ExplorationRecord, Provenance, ResultDatabase, ResultSink
 from .store import METRIC_VERSION, ResultStore
 
 
@@ -547,6 +547,56 @@ class ExplorationEngine:
         """Cached evaluation of one point (single-item :meth:`evaluate_points`)."""
         return self.evaluate_points([(point, label)])[0]
 
+    def is_known(self, point: dict) -> bool:
+        """True when evaluating ``point`` would cost no fresh profiling.
+
+        Checks the in-memory memoisation cache (L1) and, when attached, the
+        persistent result store (L2) — without touching any hit/miss
+        counter.  Dominance pruning uses this to never predict-and-skip a
+        point whose exact metrics are already available for free.
+        """
+        if canonical_point_key(point) in self._point_cache:
+            return True
+        return self.store is not None and self.store.contains(self.fingerprint, point)
+
+    def predict_point(
+        self,
+        point: dict,
+        fraction: float = 0.25,
+        metrics: Sequence[str] | None = None,
+    ) -> tuple[tuple[float, ...], int]:
+        """Cheap metric prediction: replay only a prefix of the trace.
+
+        Profiles the configuration of ``point`` over the first ``fraction``
+        of the trace events and returns ``(partial metric vector, prefix OOM
+        failures)``.  Every profiled metric accumulates monotonically over
+        the event stream (accesses, energy and cycles are cumulative sums;
+        footprint is a running peak), so the partial vector is a sound
+        component-wise *lower bound* of the full-trace vector — and because
+        all candidates are bounded on the same prefix, partial vectors are
+        also comparable with each other as a dominance surrogate.  A prefix
+        that already fails allocations proves the full replay infeasible.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"prediction fraction must be in (0, 1], got {fraction}")
+        keys = list(metrics or self.settings.metrics)
+        count = max(1, int(len(self.trace) * fraction))
+        prefix = AllocationTrace(events=self.trace.events[:count], name=self.trace.name)
+        configuration = self.configuration_for(point)
+        built = self.factory.build(configuration)
+        profiler = Profiler(
+            built.mapping,
+            energy_model=self.energy_model,
+            options=ProfilerOptions(
+                payload_access_factor=self.settings.payload_access_factor
+            ),
+        )
+        profile = profiler.run(built.allocator, prefix, configuration.configuration_id)
+        oom_failures = int(
+            profile.per_pool.get("__profile__", {}).get("oom_failures", 0)
+        )
+        return profile.totals.values(keys), oom_failures
+
     @property
     def cached_point_count(self) -> int:
         """Number of distinct points currently memoised."""
@@ -595,8 +645,13 @@ class ExplorationEngine:
 
     # -- the exploration loop -----------------------------------------------
 
-    def explore(self) -> ResultDatabase:
-        """Run the exploration over the whole (or sampled, or sharded) space."""
+    def explore(self, sink: ResultSink | None = None) -> ResultDatabase:
+        """Run the exploration over the whole (or sampled, or sharded) space.
+
+        ``sink`` receives every record the moment its batch completes — a
+        live Pareto front, a progress dashboard or a forwarder sees results
+        *while* the run progresses rather than from the returned database.
+        """
         database = ResultDatabase(name=f"{self.trace.name}-exploration")
         snapshot = self._counter_snapshot()
         total = (
@@ -610,10 +665,10 @@ class ExplorationEngine:
         for index, point in self.enumerate_points():
             batch.append((index, point))
             if len(batch) >= batch_size:
-                completed = self._explore_batch(batch, total, completed, database)
+                completed = self._explore_batch(batch, total, completed, database, sink)
                 batch = []
         if batch:
-            self._explore_batch(batch, total, completed, database)
+            self._explore_batch(batch, total, completed, database, sink)
         self._record_counters(database, snapshot)
         self._attach_provenance(database)
         return database
@@ -636,6 +691,7 @@ class ExplorationEngine:
         total: int,
         completed: int,
         database: ResultDatabase,
+        sink: ResultSink | None = None,
     ) -> int:
         """Evaluate one batch; returns the updated completed-point count.
 
@@ -649,6 +705,8 @@ class ExplorationEngine:
         records = self.evaluate_points(items)
         for (_index, _point), record in zip(batch, records):
             database.add(record)
+            if sink is not None:
+                sink.accept(record)
             completed += 1
             if self.progress_callback is not None:
                 self.progress_callback(completed, total)

@@ -6,6 +6,18 @@ no other configuration is at least as good on every chosen metric and
 strictly better on one.  All metrics are minimised (accesses, footprint,
 energy, execution time).
 
+Two ways to obtain a front live here:
+
+* the batch functions (:func:`non_dominated`, :func:`pareto_front`,
+  :func:`pareto_front_indices`) recompute the front from a full vector set —
+  O(n·front) per call, fine for one-shot analysis of a finished run;
+* :class:`IncrementalParetoFront` maintains the front *online*: each insert
+  either rejects a dominated candidate or evicts the members the candidate
+  dominates.  After inserting a sequence of items its member set (and
+  order) is exactly what the batch functions return for the same sequence,
+  so streaming consumers (the exploration engine, store-backed reporting,
+  dominance pruning) never hold more than the front in memory.
+
 The functions here are generic over "items with metric vectors"; the
 exploration layer calls them with :class:`ExplorationRecord` objects, and
 tests call them with plain tuples.
@@ -13,8 +25,8 @@ tests call them with plain tuples.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-from typing import TypeVar
+from collections.abc import Callable, Iterator, Sequence
+from typing import Generic, TypeVar
 
 T = TypeVar("T")
 
@@ -78,6 +90,77 @@ def pareto_front_indices(
     """Indices (into ``items``) of the Pareto-optimal subset."""
     vectors = [tuple(key(item)) for item in items]
     return non_dominated(vectors)
+
+
+class IncrementalParetoFront(Generic[T]):
+    """Online Pareto front: insert items one at a time, keep only the front.
+
+    Equivalent to the batch computation: after ``add``-ing every item of a
+    sequence, :meth:`items` holds exactly the items whose indices
+    :func:`pareto_front_indices` would return for that sequence, in the same
+    (insertion) order.  Duplicated vectors do not dominate each other, so
+    all duplicates of a non-dominated vector are kept — matching
+    :func:`non_dominated`.
+
+    Each insert costs O(front · dimensions): a scan of the current members
+    to detect domination of the candidate, and (only when the candidate is
+    accepted) an eviction pass over the members it dominates.  Nothing
+    outside the front is ever retained, which is what lets the streaming
+    report path serve a 19 440-point store in O(front) record memory.
+    """
+
+    def __init__(self, key: Callable[[T], Sequence[float]] | None = None) -> None:
+        self._key = key
+        self._items: list[T] = []
+        self._vectors: list[tuple[float, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def items(self) -> list[T]:
+        """Current front members, in insertion order."""
+        return list(self._items)
+
+    def vectors(self) -> list[tuple[float, ...]]:
+        """Metric vectors of the current members, aligned with :meth:`items`."""
+        return list(self._vectors)
+
+    def dominates(self, vector: Sequence[float]) -> bool:
+        """True when some current member dominates ``vector``."""
+        candidate = tuple(vector)
+        return any(dominates(member, candidate) for member in self._vectors)
+
+    def add(self, item: T, vector: Sequence[float] | None = None) -> bool:
+        """Offer one item to the front; returns True when it was accepted.
+
+        ``vector`` defaults to ``key(item)`` when the front was built with a
+        key function.  A dominated candidate is rejected; an accepted
+        candidate evicts every member it dominates.
+        """
+        if vector is None:
+            if self._key is None:
+                raise ValueError("no vector given and the front has no key function")
+            vector = self._key(item)
+        candidate = tuple(vector)
+        if any(dominates(member, candidate) for member in self._vectors):
+            return False
+        survivors_items: list[T] = []
+        survivors_vectors: list[tuple[float, ...]] = []
+        for member_item, member_vector in zip(self._items, self._vectors):
+            if not dominates(candidate, member_vector):
+                survivors_items.append(member_item)
+                survivors_vectors.append(member_vector)
+        survivors_items.append(item)
+        survivors_vectors.append(candidate)
+        self._items = survivors_items
+        self._vectors = survivors_vectors
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IncrementalParetoFront(size={len(self._items)})"
 
 
 def pareto_rank(vectors: Sequence[Sequence[float]]) -> list[int]:

@@ -10,7 +10,7 @@ exports live in :mod:`repro.gui`.
 from __future__ import annotations
 
 from ..profiling.metrics import metric_keys, metric_spec
-from .results import ExplorationRecord, ResultDatabase
+from .results import ExplorationRecord, ResultDatabase, StreamingResultView
 from .tradeoff import TradeoffAnalysis
 
 
@@ -82,8 +82,14 @@ def pareto_listing(
     metrics: list[str] | None = None,
     sort_by: str = "accesses",
 ) -> str:
-    """Listing of every Pareto-optimal configuration, sorted by one metric."""
+    """Listing of every Pareto-optimal configuration, sorted by one metric.
+
+    When ``sort_by`` is not among the emitted ``metrics``, the first emitted
+    metric orders the listing instead.
+    """
     keys = metrics or metric_keys()
+    if sort_by not in keys:
+        sort_by = keys[0]
     records = sorted(
         analysis.pareto_records, key=lambda record: record.metrics.value(sort_by)
     )
@@ -94,11 +100,24 @@ def pareto_listing(
 
 
 def exploration_report(
-    database: ResultDatabase,
+    database: ResultDatabase | StreamingResultView,
     pareto_metrics: list[str] | None = None,
     title: str = "",
+    metrics: list[str] | None = None,
 ) -> str:
-    """Full textual report for one exploration run."""
+    """Full textual report for one exploration run.
+
+    Works identically on an in-memory :class:`ResultDatabase` and on a
+    :class:`StreamingResultView` over a persistent store — everything the
+    report body states is a pure function of the records; the
+    cache/store/pruning counter lines only appear when the database carries
+    that execution metadata.
+
+    ``metrics`` restricts which metrics the table, the listing and the knee
+    description emit (all four by default); ``pareto_metrics`` (defaulting
+    to ``metrics``) chooses the dominance objectives.
+    """
+    pareto_metrics = pareto_metrics or metrics
     analysis = TradeoffAnalysis(database, pareto_metrics=pareto_metrics)
     lines = []
     if title:
@@ -106,7 +125,7 @@ def exploration_report(
         lines.append("=" * len(title))
     lines.append(
         f"Explored {len(database)} configurations of trace "
-        f"'{database[0].trace_name if len(database) else '?'}'."
+        f"'{database.trace_name or '?'}'."
     )
     lines.append(f"Pareto-optimal configurations: {analysis.pareto_count}")
     if database.cache_hits or database.cache_misses or database.store_hits:
@@ -123,15 +142,21 @@ def exploration_report(
             f"{database.store_misses} misses, "
             f"{database.store_loaded} entries loaded from disk"
         )
+    if database.prune_skipped or database.prune_predicted:
+        lines.append(
+            f"Dominance pruning: {database.prune_skipped} of "
+            f"{database.prune_predicted} predicted candidates skipped "
+            "before profiling"
+        )
     if database.provenance is not None and database.provenance.shard:
         lines.append(f"Shard: {database.provenance.shard} of the enumeration")
     lines.append("")
-    lines.append(tradeoff_table(analysis))
+    lines.append(tradeoff_table(analysis, metrics))
     lines.append("")
-    lines.append(pareto_listing(analysis))
+    lines.append(pareto_listing(analysis, metrics))
     knee = database.knee_record(pareto_metrics)
     if knee is not None:
         lines.append("")
         lines.append("Suggested balanced configuration (knee point):")
-        lines.append("  " + describe_record(knee))
+        lines.append("  " + describe_record(knee, metrics))
     return "\n".join(lines)

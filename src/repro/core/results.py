@@ -6,19 +6,28 @@ configuration, its parameter point and the measured metrics).
 layer needs (best/worst per metric, Pareto subsets, parameter slices) and
 exports to CSV / JSON / gnuplot-friendly data files, mirroring the paper's
 "results ... in a format easy to import to Excel or Gnuplot".
+
+Results *flow* rather than accumulate: anything that consumes records as
+they are produced implements the :class:`ResultSink` protocol (the database
+itself is one), the database maintains its Pareto fronts incrementally on
+every :meth:`ResultDatabase.add` (so querying the front is O(front), not an
+O(n²) recomputation), and :class:`StreamingResultView` offers the same
+query/report surface over a re-iterable record *stream* — e.g. a persistent
+result store on disk — without ever materialising the record list.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Protocol, runtime_checkable
 
 from ..profiling.metrics import MetricSet, metric_keys
 from .configuration import AllocatorConfiguration
-from .pareto import knee_point, pareto_front
+from .pareto import IncrementalParetoFront, knee_point
 
 
 @dataclass
@@ -137,12 +146,96 @@ class Provenance:
         )
 
 
+@runtime_checkable
+class ResultSink(Protocol):
+    """Anything that consumes exploration records as they are produced.
+
+    The exploration engine and the search strategies push every record they
+    generate into the sinks handed to them, so downstream consumers (live
+    Pareto fronts, progress dashboards, persistent stores, network
+    forwarders) see results *while* the exploration runs instead of from a
+    finished-database snapshot.  :class:`ResultDatabase` is itself a sink.
+    """
+
+    def accept(self, record: "ExplorationRecord") -> None:
+        """Consume one freshly produced record."""
+        ...
+
+
+class StreamingParetoSink:
+    """A :class:`ResultSink` maintaining a live Pareto front, nothing else.
+
+    The constant-memory consumer for very large explorations: only the
+    current front (and a pair of counters) is retained.  Infeasible records
+    never enter the front, mirroring :meth:`ResultDatabase.pareto_records`.
+    """
+
+    def __init__(self, metrics: list[str] | None = None) -> None:
+        self.metrics = list(metrics or metric_keys())
+        self.front: IncrementalParetoFront[ExplorationRecord] = IncrementalParetoFront()
+        self.seen = 0
+        self.feasible = 0
+
+    def accept(self, record: "ExplorationRecord") -> None:
+        self.seen += 1
+        if not record.feasible:
+            return
+        self.feasible += 1
+        self.front.add(record, record.metric_vector(self.metrics))
+
+    def records(self) -> list["ExplorationRecord"]:
+        """Current front members, in arrival order."""
+        return self.front.items()
+
+
+def write_metric_csv(
+    records: Iterable["ExplorationRecord"],
+    path: str | Path,
+    metrics: list[str] | None = None,
+) -> int:
+    """Stream ids, parameters and the chosen metrics of ``records`` as CSV.
+
+    One row is built and written per record — nothing is accumulated — so
+    the writer serves a streamed store exactly as it serves an in-memory
+    database.  Returns the number of data rows written.
+    """
+    keys = metrics or metric_keys()
+    rows = 0
+    writer: csv.DictWriter | None = None
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        for record in records:
+            row = {"index": record.index, "configuration_id": record.configuration_id}
+            row.update({f"param_{k}": v for k, v in sorted(record.parameters.items())})
+            for key in keys:
+                row[key] = record.metrics.value(key)
+            if writer is None:
+                writer = csv.DictWriter(handle, fieldnames=list(row.keys()))
+                writer.writeheader()
+            writer.writerow(row)
+            rows += 1
+    return rows
+
+
 class ResultDatabase:
-    """In-memory store of exploration records with query and export helpers."""
+    """In-memory store of exploration records with query and export helpers.
+
+    The Pareto fronts the analysis layer asks for are maintained
+    *incrementally*: every :meth:`add` offers the record to the live
+    :class:`~repro.core.pareto.IncrementalParetoFront` of each metric
+    selection queried so far, so :meth:`pareto_records` is an O(front)
+    lookup rather than an O(n²) recomputation — with membership and order
+    identical to the batch functions (property-tested).
+    """
 
     def __init__(self, name: str = "exploration") -> None:
         self.name = name
         self._records: list[ExplorationRecord] = []
+        # Live fronts, keyed by (metric-key tuple, feasible_only); created
+        # lazily on the first pareto_records() query for that selection and
+        # kept up to date by add().
+        self._fronts: dict[
+            tuple[tuple[str, ...], bool], IncrementalParetoFront[ExplorationRecord]
+        ] = {}
         # Filled in by the producing engine/search: how many point
         # evaluations were answered from the memoisation cache (L1) vs the
         # persistent result store (L2) vs freshly profiled.
@@ -151,6 +244,11 @@ class ResultDatabase:
         self.store_hits = 0
         self.store_misses = 0
         self.store_loaded = 0
+        # Dominance-pruning outcome of the producing search (0 when the
+        # producer did not prune): candidates skipped before profiling, and
+        # cheap partial predictions performed to decide the skips.
+        self.prune_skipped = 0
+        self.prune_predicted = 0
         # Evaluation-context identity; set by the producing engine, required
         # by ``dmexplore merge`` to validate artefact compatibility.
         self.provenance: Provenance | None = None
@@ -160,6 +258,14 @@ class ResultDatabase:
     def add(self, record: ExplorationRecord) -> None:
         record.index = len(self._records)
         self._records.append(record)
+        for (keys, feasible_only), front in self._fronts.items():
+            if feasible_only and not record.feasible:
+                continue
+            front.add(record, record.metric_vector(list(keys)))
+
+    def accept(self, record: ExplorationRecord) -> None:
+        """:class:`ResultSink` interface: same as :meth:`add`."""
+        self.add(record)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -175,6 +281,21 @@ class ResultDatabase:
         return list(self._records)
 
     # -- queries -----------------------------------------------------------
+
+    @property
+    def trace_name(self) -> str:
+        """Name of the trace the records were profiled on ("" when empty)."""
+        return self._records[0].trace_name if self._records else ""
+
+    @property
+    def feasible_count(self) -> int:
+        """How many records served every allocation of the trace."""
+        return sum(1 for record in self._records if record.feasible)
+
+    @property
+    def has_feasible(self) -> bool:
+        """True when at least one record is feasible."""
+        return any(record.feasible for record in self._records)
 
     def feasible_records(self) -> list[ExplorationRecord]:
         """Records of configurations that served every allocation of the trace."""
@@ -225,12 +346,21 @@ class ResultDatabase:
         Infeasible configurations (OOM on the trace) are excluded by default:
         an allocator that dropped allocations would otherwise look
         artificially cheap on every metric.
+
+        Served from a live :class:`IncrementalParetoFront` — built once per
+        metric selection, updated on every :meth:`add` — so repeated queries
+        (reports, exports, search-strategy selection) cost O(front).
         """
-        keys = metrics or metric_keys()
-        candidates = (
-            self.feasible_records() if feasible_only else list(self._records)
-        )
-        return pareto_front(candidates, key=lambda record: record.metric_vector(keys))
+        keys = tuple(metrics or metric_keys())
+        front = self._fronts.get((keys, feasible_only))
+        if front is None:
+            front = IncrementalParetoFront()
+            for record in self._records:
+                if feasible_only and not record.feasible:
+                    continue
+                front.add(record, record.metric_vector(list(keys)))
+            self._fronts[(keys, feasible_only)] = front
+        return front.items()
 
     def knee_record(self, metrics: list[str] | None = None) -> ExplorationRecord | None:
         """The balanced "knee" configuration of the Pareto front."""
@@ -253,18 +383,12 @@ class ResultDatabase:
         return table
 
     def to_csv(self, path: str | Path, metrics: list[str] | None = None) -> int:
-        """Write the metric table as CSV (Excel-importable); returns row count."""
-        table = self.metric_table(metrics)
-        if not table:
-            Path(path).write_text("", encoding="utf-8")
-            return 0
-        fieldnames = list(table[0].keys())
-        with open(path, "w", newline="", encoding="utf-8") as handle:
-            writer = csv.DictWriter(handle, fieldnames=fieldnames)
-            writer.writeheader()
-            for row in table:
-                writer.writerow(row)
-        return len(table)
+        """Write the metric table as CSV (Excel-importable); returns row count.
+
+        ``metrics`` selects which metric columns are emitted (all four by
+        default).  Rows are streamed one record at a time.
+        """
+        return write_metric_csv(self._records, path, metrics)
 
     def to_json(self, path: str | Path) -> None:
         """Serialise the whole database (records + configurations) as JSON."""
@@ -279,6 +403,11 @@ class ResultDatabase:
                 "hits": self.store_hits,
                 "misses": self.store_misses,
                 "loaded": self.store_loaded,
+            }
+        if self.prune_skipped or self.prune_predicted:
+            payload["pruning"] = {
+                "skipped": self.prune_skipped,
+                "predicted": self.prune_predicted,
             }
         if self.provenance is not None:
             payload["provenance"] = self.provenance.as_dict()
@@ -295,6 +424,9 @@ class ResultDatabase:
         database.store_hits = int(store.get("hits", 0))
         database.store_misses = int(store.get("misses", 0))
         database.store_loaded = int(store.get("loaded", 0))
+        pruning = payload.get("pruning", {})
+        database.prune_skipped = int(pruning.get("skipped", 0))
+        database.prune_predicted = int(pruning.get("predicted", 0))
         if "provenance" in payload:
             database.provenance = Provenance.from_dict(payload["provenance"])
         for entry in payload.get("records", []):
@@ -307,7 +439,7 @@ class ResultDatabase:
             return {"records": 0}
         data: dict = {
             "records": len(self._records),
-            "feasible": len(self.feasible_records()),
+            "feasible": self.feasible_count,
         }
         if self.cache_hits or self.cache_misses:
             data["cache"] = {"hits": self.cache_hits, "misses": self.cache_misses}
@@ -317,10 +449,129 @@ class ResultDatabase:
                 "misses": self.store_misses,
                 "loaded": self.store_loaded,
             }
-        if not self.feasible_records():
+        if self.prune_skipped or self.prune_predicted:
+            data["pruning"] = {
+                "skipped": self.prune_skipped,
+                "predicted": self.prune_predicted,
+            }
+        if not self.has_feasible:
             return data
         for key in metric_keys():
             low, high = self.metric_range(key)
             data[key] = {"min": low, "max": high}
         data["pareto_count"] = len(self.pareto_records())
         return data
+
+
+class StreamingResultView:
+    """Read-only :class:`ResultDatabase` stand-in over a record *stream*.
+
+    ``source`` is any re-iterable of :class:`ExplorationRecord` — each
+    ``iter(source)`` must yield the same records in the same order (e.g. a
+    :class:`~repro.core.store.StoreRecordSource` replaying a persistent
+    store file, or simply a list).  The view answers everything the
+    reporting and export layers ask of a database — length, iteration,
+    metric ranges, Pareto front, knee, CSV — while holding only aggregates
+    and the front itself in memory: queries that need the records again
+    re-iterate the source instead of caching them.
+
+    Execution metadata (cache/store/pruning counters, provenance) is zero /
+    absent: a stream describes *results*, not how a particular run produced
+    them.
+    """
+
+    def __init__(self, source: Iterable[ExplorationRecord], name: str = "exploration") -> None:
+        self._source = source
+        self.name = name
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.store_loaded = 0
+        self.prune_skipped = 0
+        self.prune_predicted = 0
+        self.provenance: Provenance | None = None
+        self._fronts: dict[
+            tuple[tuple[str, ...], bool], IncrementalParetoFront[ExplorationRecord]
+        ] = {}
+        self._count = 0
+        self._feasible_count = 0
+        self._trace_name = ""
+        # (metric, feasible_only) -> (min, max), gathered in one pass.
+        self._ranges: dict[tuple[str, bool], tuple[float, float]] = {}
+        keys = metric_keys()
+        for record in source:
+            if self._count == 0:
+                self._trace_name = record.trace_name
+            self._count += 1
+            if record.feasible:
+                self._feasible_count += 1
+            for key in keys:
+                value = record.metrics.value(key)
+                self._fold_range(key, False, value)
+                if record.feasible:
+                    self._fold_range(key, True, value)
+
+    def _fold_range(self, metric: str, feasible_only: bool, value: float) -> None:
+        known = self._ranges.get((metric, feasible_only))
+        if known is None:
+            self._ranges[(metric, feasible_only)] = (value, value)
+        else:
+            low, high = known
+            self._ranges[(metric, feasible_only)] = (min(low, value), max(high, value))
+
+    # -- the ResultDatabase query surface ---------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[ExplorationRecord]:
+        return iter(self._source)
+
+    @property
+    def trace_name(self) -> str:
+        return self._trace_name
+
+    @property
+    def feasible_count(self) -> int:
+        return self._feasible_count
+
+    @property
+    def has_feasible(self) -> bool:
+        return self._feasible_count > 0
+
+    def metric_range(self, metric: str, feasible_only: bool = True) -> tuple[float, float]:
+        """(min, max) of ``metric`` across the (feasible by default) records."""
+        known = self._ranges.get((metric, feasible_only))
+        if known is None:
+            raise ValueError(
+                "result stream has no "
+                + ("feasible " if feasible_only else "")
+                + "records"
+            )
+        return known
+
+    def pareto_records(
+        self, metrics: list[str] | None = None, feasible_only: bool = True
+    ) -> list[ExplorationRecord]:
+        """Pareto front of the streamed records (one extra pass per selection)."""
+        keys = tuple(metrics or metric_keys())
+        front = self._fronts.get((keys, feasible_only))
+        if front is None:
+            front = IncrementalParetoFront()
+            for record in self._source:
+                if feasible_only and not record.feasible:
+                    continue
+                front.add(record, record.metric_vector(list(keys)))
+            self._fronts[(keys, feasible_only)] = front
+        return front.items()
+
+    def knee_record(self, metrics: list[str] | None = None) -> ExplorationRecord | None:
+        """The balanced "knee" configuration of the Pareto front."""
+        keys = metrics or metric_keys()
+        front = self.pareto_records(keys)
+        return knee_point(front, key=lambda record: record.metric_vector(keys))
+
+    def to_csv(self, path: str | Path, metrics: list[str] | None = None) -> int:
+        """Stream the metric table as CSV; returns the row count."""
+        return write_metric_csv(self._source, path, metrics)

@@ -18,6 +18,12 @@ makes repeated explorations incremental:
   (and therefore the recomputed Pareto front) identical to a single-run
   exhaustive exploration.
 
+Reading back at scale is a streaming concern: :class:`StoreRecordSource`
+replays a store file as an ordered record stream — an offset index decides
+which line wins per key, then records are parsed one at a time — so
+``dmexplore report --store`` serves the full 19 440-point space without
+ever materialising the record list.
+
 Design notes
 ------------
 
@@ -25,9 +31,16 @@ The store is a flat JSON-lines file (one self-describing entry per line)
 rather than SQLite: entries are append-only, the whole store is loaded into
 a dict at open time anyway, a partially written trailing line (crash,
 ``kill -9``, full disk) is recoverable by simply skipping it, and the file
-can be inspected/filtered with standard text tools.  The store assumes a
-single writer per file; sharded runs give each shard its own store path and
-exchange results through ``dmexplore merge`` artefacts instead.
+can be inspected/filtered with standard text tools.
+
+Concurrent writers on one host are safe: every entry is appended as a
+single ``write()`` on an ``O_APPEND`` descriptor (the kernel serialises the
+positioning) under an advisory ``fcntl`` lock (which additionally rules out
+interleaving on the rare short-write path), so parallel shards may share
+one store file.  Two writers that race to profile the same point simply
+append the same key twice — last write wins at load time, exactly like a
+re-recorded entry.  Writers do not *see* each other's appends until they
+reopen the file; they only ever duplicate work, never corrupt it.
 
 :data:`METRIC_VERSION` is part of every key: bump it whenever the profiler
 or the metric definitions change semantically, and every stale entry is
@@ -38,10 +51,16 @@ from __future__ import annotations
 
 import json
 import os
+from collections.abc import Iterator
 from pathlib import Path
 
 from .parameters import ParameterSpace
 from .results import ExplorationRecord, Provenance, ResultDatabase
+
+try:  # pragma: no cover - fcntl exists on every POSIX platform we target
+    import fcntl
+except ImportError:  # pragma: no cover - e.g. Windows; O_APPEND still holds
+    fcntl = None  # type: ignore[assignment]
 
 #: Version of the metric semantics baked into store keys.  Bump when the
 #: profiler, the energy/timing model wiring, or the metric definitions
@@ -111,7 +130,7 @@ class ResultStore:
         self.loaded = 0
         self.corrupt_entries = 0
         self._entries: dict[tuple[str, str, int], dict] = {}
-        self._handle = None
+        self._fd: int | None = None
         self._needs_leading_newline = False
         self._load()
 
@@ -185,12 +204,22 @@ class ResultStore:
         self.hits += 1
         return ExplorationRecord.from_dict(payload)
 
+    def contains(self, fingerprint: str, point: dict) -> bool:
+        """True when the store holds ``point`` — without touching counters.
+
+        For cheap "would this evaluation be free?" probes (dominance
+        pruning) that must not distort the hit/miss statistics.
+        """
+        key = (fingerprint, canonical_point_json(point), self.metric_version)
+        return key in self._entries
+
     def put(self, fingerprint: str, point: dict, record: ExplorationRecord) -> bool:
         """Persist one evaluated point; returns False when already present.
 
-        The entry is appended to the file and flushed immediately, so a
-        crash never loses more than the line being written — which the next
-        open recovers from by skipping it.
+        The entry reaches the file as one atomic, immediately written
+        append (see :meth:`_append`), so a crash never loses more than the
+        line being written — which the next open recovers from by skipping
+        it — and appends from concurrent processes never interleave.
         """
         key = (fingerprint, canonical_point_json(point), self.metric_version)
         if key in self._entries:
@@ -207,25 +236,47 @@ class ResultStore:
             sort_keys=True,
             separators=(",", ":"),
         )
-        handle = self._ensure_handle()
-        if self._needs_leading_newline:
-            handle.write("\n")
-            self._needs_leading_newline = False
-        handle.write(line + "\n")
-        handle.flush()
+        self._append((line + "\n").encode("utf-8"))
         return True
 
-    def _ensure_handle(self):
-        if self._handle is None:
+    def _append(self, data: bytes) -> None:
+        """Append ``data`` (a complete entry line) concurrent-writer-safely.
+
+        The descriptor is opened with ``O_APPEND``, so the kernel positions
+        every ``write()`` at end-of-file atomically even when several
+        processes share the store.  The whole entry goes out in a single
+        ``os.write`` call, guarded by an advisory ``fcntl`` lock that (a)
+        serialises the rare short-write retry path and (b) keeps the
+        crashed-writer newline repair from splitting another writer's line.
+        """
+        fd = self._ensure_fd()
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            if self._needs_leading_newline:
+                os.write(fd, b"\n")
+                self._needs_leading_newline = False
+            remaining = data
+            while remaining:
+                written = os.write(fd, remaining)
+                remaining = remaining[written:]
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        return self._handle
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+        return self._fd
 
     def close(self) -> None:
-        """Close the append handle (idempotent; the store stays queryable)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Close the append descriptor (idempotent; the store stays queryable)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -237,6 +288,114 @@ class ResultStore:
         return (
             f"ResultStore(path={str(self.path)!r}, entries={len(self._entries)}, "
             f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# -- streaming a store back as records ---------------------------------------
+
+
+class StoreRecordSource:
+    """Re-iterable record stream over one evaluation context of a store file.
+
+    Construction scans the file once and builds an *offset index*: for every
+    entry whose fingerprint and metric version match, the byte offset of the
+    winning (= last) line per parameter point — the same last-write-wins
+    rule :class:`ResultStore` applies at load time, but keeping only an
+    integer per point instead of the record payload.  Iteration then seeks
+    to each winning line and parses records one at a time, so the stream
+    serves arbitrarily many passes in O(1) record memory.
+
+    With ``space`` given, points outside the space are filtered out, the
+    stream is ordered by global enumeration index, and each yielded record
+    carries that index — i.e. the stream is record-for-record identical to
+    iterating the :class:`~repro.core.results.ResultDatabase` a single
+    exhaustive run (or a shard merge) over the same space would produce.
+    Without a space, entries stream in file (append) order.
+
+    Corrupt lines are skipped and counted (``corrupt_entries``), entries of
+    other fingerprints/versions under ``foreign_entries``, points outside
+    the space under ``outside_space``.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: str,
+        space: ParameterSpace | None = None,
+        metric_version: int = METRIC_VERSION,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.space = space
+        self.metric_version = metric_version
+        self.corrupt_entries = 0
+        self.foreign_entries = 0
+        self.outside_space = 0
+        if self.path.exists() and self.path.is_dir():
+            raise StoreError(f"store path {self.path} is a directory")
+        # point-json -> (global index or file position, byte offset)
+        index: dict[str, tuple[int, int]] = {}
+        if self.path.exists():
+            with open(self.path, "rb") as handle:
+                position = 0
+                offset = handle.tell()
+                for raw in handle:
+                    line_offset = offset
+                    offset += len(raw)
+                    line = raw.decode("utf-8", errors="replace").strip()
+                    if not line:
+                        continue
+                    entry = ResultStore._parse_entry(line)
+                    if entry is None:
+                        self.corrupt_entries += 1
+                        continue
+                    (entry_fingerprint, point_json, version), _payload = entry
+                    if entry_fingerprint != fingerprint or version != metric_version:
+                        self.foreign_entries += 1
+                        continue
+                    if space is not None:
+                        try:
+                            order = space.index_of(json.loads(point_json))
+                        except (KeyError, ValueError):
+                            self.outside_space += 1
+                            continue
+                    else:
+                        order = position
+                    position += 1
+                    # Last write wins, but (without a space) the stream
+                    # keeps the position of the *first* occurrence so a
+                    # re-recorded point does not move to the tail.
+                    known = index.get(point_json)
+                    if known is not None and space is None:
+                        order = known[0]
+                    index[point_json] = (order, line_offset)
+        self._plan = sorted(index.values())
+
+    def __len__(self) -> int:
+        return len(self._plan)
+
+    def __iter__(self) -> Iterator[ExplorationRecord]:
+        if not self._plan:
+            return
+        with open(self.path, "rb") as handle:
+            for order, offset in self._plan:
+                handle.seek(offset)
+                line = handle.readline().decode("utf-8", errors="replace")
+                entry = ResultStore._parse_entry(line.strip())
+                if entry is None:  # pragma: no cover - file changed under us
+                    raise StoreError(
+                        f"store entry at offset {offset} of {self.path} changed "
+                        "after indexing"
+                    )
+                record = ExplorationRecord.from_dict(entry[1])
+                if self.space is not None:
+                    record.index = order
+                yield record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoreRecordSource(path={str(self.path)!r}, entries={len(self._plan)}, "
+            f"fingerprint={self.fingerprint[:12]}...)"
         )
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..profiling.metrics import improvement_factor, metric_keys, percent_decrease
-from .results import ExplorationRecord, ResultDatabase
+from .results import ExplorationRecord, ResultDatabase, StreamingResultView
 
 
 @dataclass
@@ -89,12 +89,12 @@ class TradeoffAnalysis:
 
     def __init__(
         self,
-        database: ResultDatabase,
+        database: "ResultDatabase | StreamingResultView",
         pareto_metrics: list[str] | None = None,
     ) -> None:
         if len(database) == 0:
             raise ValueError("cannot analyse an empty result database")
-        if not database.feasible_records():
+        if not database.has_feasible:
             raise ValueError(
                 "cannot analyse a database with no feasible configurations"
             )
@@ -124,10 +124,9 @@ class TradeoffAnalysis:
 
     def summary(self, metrics: list[str] | None = None) -> TradeoffSummary:
         keys = metrics or metric_keys()
-        trace_name = self.database[0].trace_name if len(self.database) else ""
         summary = TradeoffSummary(
-            trace_name=trace_name,
-            total_configurations=len(self.database.feasible_records()),
+            trace_name=self.database.trace_name,
+            total_configurations=self.database.feasible_count,
             pareto_count=self.pareto_count,
         )
         for key in keys:

@@ -6,13 +6,20 @@ plots as character grids: all explored configurations as dots, the
 Pareto-optimal ones as stars, with axis ranges annotated.  The plots are
 intentionally simple — their job is to make the shape of the trade-off
 visible in a CI log or a README, not to be pretty.
+
+The plot functions take any *re-iterable* of ``(x, y)`` pairs — a list, or
+a streaming adapter over a result database / persistent store.  They never
+materialise the point cloud: one pass establishes the axis ranges (and, for
+:func:`pareto_plot`, the incremental 2-D front), a second pass rasterises
+into the fixed character grid.  Memory is O(grid + front) however many
+points stream through.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable
 
-from ..core.pareto import non_dominated
+from ..core.pareto import IncrementalParetoFront
 
 #: Characters used for plot points.
 POINT_CHAR = "."
@@ -29,30 +36,18 @@ def _scale(value: float, low: float, high: float, steps: int) -> int:
     return max(0, min(steps - 1, index))
 
 
-def scatter_plot(
-    points: Sequence[tuple[float, float]],
-    width: int = 70,
-    height: int = 22,
-    x_label: str = "x",
-    y_label: str = "y",
-    highlight: Sequence[tuple[float, float]] | None = None,
-    title: str = "",
+def _render_grid(
+    points: Iterable[tuple[float, float]],
+    bounds: tuple[float, float, float, float],
+    width: int,
+    height: int,
+    x_label: str,
+    y_label: str,
+    highlight: Iterable[tuple[float, float]],
+    title: str,
 ) -> str:
-    """Render a 2-D scatter plot; ``highlight`` points are drawn with ``*``.
-
-    The y axis grows upwards (smaller values at the bottom), so for
-    minimisation metrics the interesting corner is bottom-left, as in the
-    paper's figures.
-    """
-    if width < 10 or height < 5:
-        raise ValueError("plot area too small (need at least 10x5)")
-    if not points:
-        return "(no points to plot)"
-    xs = [point[0] for point in points]
-    ys = [point[1] for point in points]
-    x_low, x_high = min(xs), max(xs)
-    y_low, y_high = min(ys), max(ys)
-
+    """Rasterise one pass over ``points`` into the framed character grid."""
+    x_low, x_high, y_low, y_high = bounds
     grid = [[EMPTY_CHAR] * width for _ in range(height)]
 
     def place(x: float, y: float, char: str) -> None:
@@ -62,7 +57,9 @@ def scatter_plot(
 
     for x, y in points:
         place(x, y, POINT_CHAR)
-    for x, y in highlight or []:
+    highlighted = False
+    for x, y in highlight:
+        highlighted = True
         place(x, y, FRONT_CHAR)
 
     lines = []
@@ -75,33 +72,89 @@ def scatter_plot(
     lines.append("+" + "-" * width + "+")
     lines.append(f"{x_label}: {x_low:.3g} (left) .. {x_high:.3g} (right)")
     legend = f"legend: '{POINT_CHAR}' explored configuration"
-    if highlight:
+    if highlighted:
         legend += f", '{FRONT_CHAR}' Pareto-optimal"
     lines.append(legend)
     return "\n".join(lines)
 
 
+def scatter_plot(
+    points: Iterable[tuple[float, float]],
+    width: int = 70,
+    height: int = 22,
+    x_label: str = "x",
+    y_label: str = "y",
+    highlight: Iterable[tuple[float, float]] | None = None,
+    title: str = "",
+) -> str:
+    """Render a 2-D scatter plot; ``highlight`` points are drawn with ``*``.
+
+    ``points`` may be any re-iterable (it is traversed twice: axis ranges,
+    then rasterisation) — nothing is accumulated per point.  The y axis
+    grows upwards (smaller values at the bottom), so for minimisation
+    metrics the interesting corner is bottom-left, as in the paper's
+    figures.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("plot area too small (need at least 10x5)")
+    x_low = y_low = float("inf")
+    x_high = y_high = float("-inf")
+    count = 0
+    for x, y in points:
+        count += 1
+        x_low, x_high = min(x_low, x), max(x_high, x)
+        y_low, y_high = min(y_low, y), max(y_high, y)
+    if count == 0:
+        return "(no points to plot)"
+    return _render_grid(
+        points,
+        (x_low, x_high, y_low, y_high),
+        width,
+        height,
+        x_label,
+        y_label,
+        highlight or [],
+        title,
+    )
+
+
 def pareto_plot(
-    points: Sequence[tuple[float, float]],
+    points: Iterable[tuple[float, float]],
     width: int = 70,
     height: int = 22,
     x_label: str = "memory accesses",
     y_label: str = "memory footprint",
     title: str = "Pareto-optimal configurations",
 ) -> str:
-    """Scatter plot with the non-dominated points highlighted automatically."""
-    if not points:
+    """Scatter plot with the non-dominated points highlighted automatically.
+
+    The 2-D front is maintained incrementally *while* the axis ranges are
+    gathered, so the stream is traversed exactly twice (ranges + front,
+    then rasterisation) and highlighting costs O(n · front) time and
+    O(front) memory instead of the O(n²) batch recomputation.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("plot area too small (need at least 10x5)")
+    front: IncrementalParetoFront[tuple[float, float]] = IncrementalParetoFront()
+    x_low = y_low = float("inf")
+    x_high = y_high = float("-inf")
+    count = 0
+    for x, y in points:
+        count += 1
+        x_low, x_high = min(x_low, x), max(x_high, x)
+        y_low, y_high = min(y_low, y), max(y_high, y)
+        front.add((x, y), (x, y))
+    if count == 0:
         return "(no points to plot)"
-    front_indices = set(non_dominated([tuple(point) for point in points]))
-    highlight = [point for index, point in enumerate(points) if index in front_indices]
-    return scatter_plot(
+    return _render_grid(
         points,
-        width=width,
-        height=height,
-        x_label=x_label,
-        y_label=y_label,
-        highlight=highlight,
-        title=title,
+        (x_low, x_high, y_low, y_high),
+        width,
+        height,
+        x_label,
+        y_label,
+        front.items(),
+        title,
     )
 
 

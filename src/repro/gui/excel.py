@@ -1,8 +1,11 @@
 """CSV (Excel-importable) export of exploration results.
 
-Thin wrappers over :meth:`ResultDatabase.to_csv` that additionally export a
+Thin wrappers over the streaming CSV writer that additionally export a
 Pareto-only sheet and a per-parameter summary sheet, matching what a
 designer would paste into a spreadsheet to argue for a configuration.
+Every exporter accepts an in-memory :class:`ResultDatabase` or a
+:class:`~repro.core.results.StreamingResultView` over a persistent store —
+rows are written as records stream by.
 """
 
 from __future__ import annotations
@@ -10,20 +13,24 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
-from ..core.results import ResultDatabase
+from ..core.results import ResultDatabase, StreamingResultView
 from ..core.tradeoff import TradeoffAnalysis
 from ..profiling.metrics import metric_keys
 
 
 def export_all_configurations(
-    database: ResultDatabase, path: str | Path, metrics: list[str] | None = None
+    database: "ResultDatabase | StreamingResultView",
+    path: str | Path,
+    metrics: list[str] | None = None,
 ) -> int:
     """Write every explored configuration to ``path`` (CSV); returns row count."""
     return database.to_csv(path, metrics=metrics)
 
 
 def export_pareto_configurations(
-    database: ResultDatabase, path: str | Path, metrics: list[str] | None = None
+    database: "ResultDatabase | StreamingResultView",
+    path: str | Path,
+    metrics: list[str] | None = None,
 ) -> int:
     """Write only the Pareto-optimal configurations to ``path`` (CSV)."""
     keys = metrics or metric_keys()
@@ -47,7 +54,9 @@ def export_pareto_configurations(
 
 
 def export_tradeoff_summary(
-    database: ResultDatabase, path: str | Path, metrics: list[str] | None = None
+    database: "ResultDatabase | StreamingResultView",
+    path: str | Path,
+    metrics: list[str] | None = None,
 ) -> int:
     """Write the per-metric range / Pareto-gain table (CSV); returns row count."""
     keys = metrics or metric_keys()
@@ -63,7 +72,7 @@ def export_tradeoff_summary(
 
 
 def export_workbook(
-    database: ResultDatabase,
+    database: "ResultDatabase | StreamingResultView",
     directory: str | Path,
     basename: str = "exploration",
     metrics: list[str] | None = None,

@@ -3,47 +3,78 @@
 This is the closest terminal equivalent of the paper's GUI front page: the
 trade-off table, the ASCII Pareto plot of a chosen metric pair and pointers
 to the exported CSV / gnuplot artefacts.
+
+Every renderer here consumes records *as a stream*: ``database`` may be an
+in-memory :class:`~repro.core.results.ResultDatabase` or a
+:class:`~repro.core.results.StreamingResultView` over a persistent store —
+the dashboard and the exports re-iterate the records instead of snapshotting
+them, so a 19 440-point store renders in O(front) record memory.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from pathlib import Path
 
 from ..core.reporting import exploration_report
-from ..core.results import ResultDatabase
+from ..core.results import ResultDatabase, StreamingResultView
 from ..profiling.metrics import metric_keys, metric_spec
 from .ascii_plots import pareto_plot
 from .excel import export_workbook
 from .gnuplot import export_gnuplot
 
 
+class _MetricPointCloud:
+    """Re-iterable (x, y) adapter over a record source, for the plots."""
+
+    def __init__(
+        self,
+        database: "ResultDatabase | StreamingResultView",
+        x_metric: str,
+        y_metric: str,
+    ) -> None:
+        self._database = database
+        self._x_metric = x_metric
+        self._y_metric = y_metric
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        for record in self._database:
+            yield (
+                record.metrics.value(self._x_metric),
+                record.metrics.value(self._y_metric),
+            )
+
+
 def dashboard(
-    database: ResultDatabase,
+    database: "ResultDatabase | StreamingResultView",
     x_metric: str = "accesses",
     y_metric: str = "footprint",
     title: str = "",
     plot_width: int = 70,
     plot_height: int = 20,
+    metrics: list[str] | None = None,
 ) -> str:
-    """Render the full textual dashboard for one exploration."""
-    points = [
-        (record.metrics.value(x_metric), record.metrics.value(y_metric))
-        for record in database
-    ]
+    """Render the full textual dashboard for one exploration.
+
+    ``metrics`` restricts the emitted metric set (table, listing, knee)
+    exactly as in :func:`~repro.core.reporting.exploration_report`.
+    """
     plot = pareto_plot(
-        points,
+        _MetricPointCloud(database, x_metric, y_metric),
         width=plot_width,
         height=plot_height,
         x_label=metric_spec(x_metric).label,
         y_label=metric_spec(y_metric).label,
         title=f"{metric_spec(y_metric).label} vs {metric_spec(x_metric).label}",
     )
-    report = exploration_report(database, title=title or database.name)
+    report = exploration_report(
+        database, title=title or database.name, metrics=metrics
+    )
     return report + "\n\n" + plot
 
 
 def export_artifacts(
-    database: ResultDatabase,
+    database: "ResultDatabase | StreamingResultView",
     directory: str | Path,
     basename: str = "exploration",
     metrics: list[str] | None = None,

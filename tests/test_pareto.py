@@ -1,8 +1,11 @@
 """Unit tests for the Pareto machinery (repro.core.pareto)."""
 
+import random
+
 import pytest
 
 from repro.core.pareto import (
+    IncrementalParetoFront,
     dominates,
     hypervolume_2d,
     knee_point,
@@ -99,6 +102,17 @@ class TestParetoRank:
     def test_empty(self):
         assert pareto_rank([]) == []
 
+    def test_single_point_is_rank_zero(self):
+        assert pareto_rank([(7, 7)]) == [0]
+
+    def test_exact_ties_share_a_rank(self):
+        # Equal vectors never dominate each other, so duplicates always sit
+        # in the same layer — here behind the strictly better (1, 1).
+        assert pareto_rank([(2, 2), (2, 2), (1, 1)]) == [1, 1, 0]
+
+    def test_all_tied_is_one_layer(self):
+        assert pareto_rank([(3, 3)] * 4) == [0, 0, 0, 0]
+
 
 class TestSortFront:
     def test_sorted_by_requested_objective(self):
@@ -134,6 +148,20 @@ class TestHypervolume:
         with pytest.raises(ValueError):
             hypervolume_2d([(1, 1)], reference=(1, 2, 3))
 
+    def test_empty_front(self):
+        assert hypervolume_2d([], reference=(3, 3)) == 0.0
+
+    def test_point_on_the_reference_contributes_nothing(self):
+        assert hypervolume_2d([(3, 3)], reference=(3, 3)) == 0.0
+
+    def test_exact_duplicate_points_count_once(self):
+        single = hypervolume_2d([(1, 1)], reference=(3, 3))
+        doubled = hypervolume_2d([(1, 1), (1, 1)], reference=(3, 3))
+        assert doubled == pytest.approx(single)
+
+    def test_non_2d_vectors_are_ignored(self):
+        assert hypervolume_2d([(1, 1, 1)], reference=(3, 3)) == 0.0
+
 
 class TestKneePoint:
     def test_balanced_point_chosen(self):
@@ -150,3 +178,87 @@ class TestKneePoint:
         # One objective has zero span; the knee is still well defined.
         items = [(1, 5), (2, 5), (3, 5)]
         assert knee_point(items, key=lambda item: item) == (1, 5)
+
+    def test_all_dimensions_degenerate(self):
+        # Every objective tied: all distances are zero, the first item wins.
+        items = [(4, 4), (4, 4), (4, 4)]
+        assert knee_point(items, key=lambda item: item) is items[0]
+
+    def test_exact_tie_keeps_first(self):
+        # Two symmetric extremes are equidistant from the ideal point; the
+        # earlier one is returned deterministically.
+        items = [(0, 10), (10, 0)]
+        assert knee_point(items, key=lambda item: item) is items[0]
+
+
+class TestIncrementalParetoFront:
+    def test_accepts_non_dominated_and_rejects_dominated(self):
+        front = IncrementalParetoFront()
+        assert front.add("a", (2, 2)) is True
+        assert front.add("b", (3, 3)) is False  # dominated by a
+        assert front.add("c", (1, 3)) is True   # trade-off
+        assert front.items() == ["a", "c"]
+
+    def test_eviction_on_better_insert(self):
+        front = IncrementalParetoFront()
+        front.add("a", (3, 3))
+        front.add("b", (2, 4))
+        assert front.add("c", (1, 1)) is True  # dominates both
+        assert front.items() == ["c"]
+
+    def test_duplicates_are_both_kept(self):
+        front = IncrementalParetoFront()
+        assert front.add("a", (1, 1)) is True
+        assert front.add("b", (1, 1)) is True
+        assert front.items() == ["a", "b"]
+
+    def test_empty_front(self):
+        front = IncrementalParetoFront()
+        assert len(front) == 0
+        assert front.items() == []
+        assert front.dominates((1, 1)) is False
+
+    def test_key_function(self):
+        front = IncrementalParetoFront(key=lambda item: item["v"])
+        front.add({"v": (2, 2)})
+        assert front.add({"v": (3, 3)}) is False
+
+    def test_vector_required_without_key(self):
+        with pytest.raises(ValueError):
+            IncrementalParetoFront().add("a")
+
+    def test_dominates_query(self):
+        front = IncrementalParetoFront()
+        front.add("a", (1, 1))
+        assert front.dominates((2, 2)) is True
+        assert front.dominates((1, 1)) is False  # ties do not dominate
+        assert front.dominates((0, 5)) is False
+
+    def test_matches_batch_front_on_a_known_sequence(self):
+        vectors = [(1, 4), (2, 2), (4, 1), (3, 3), (2, 5), (5, 2), (2, 2)]
+        front = IncrementalParetoFront()
+        for index, vector in enumerate(vectors):
+            front.add(index, vector)
+        assert front.items() == pareto_front_indices(vectors, key=lambda v: v)
+
+    def test_randomized_equivalence_with_batch_front(self):
+        """1000 random databases: incremental == batch, members and order.
+
+        Small dimensions/values force plenty of exact ties and duplicated
+        vectors — the cases where a naive online filter diverges from the
+        batch semantics.
+        """
+        rng = random.Random(20060306)
+        for _case in range(1000):
+            dimensions = rng.randint(1, 4)
+            count = rng.randint(0, 20)
+            vectors = [
+                tuple(rng.randint(0, 5) for _ in range(dimensions))
+                for _ in range(count)
+            ]
+            front = IncrementalParetoFront()
+            for index, vector in enumerate(vectors):
+                front.add(index, vector)
+            expected = pareto_front_indices(vectors, key=lambda v: v)
+            assert front.items() == expected, f"diverged on {vectors}"
+            assert front.vectors() == [vectors[i] for i in expected]

@@ -2,11 +2,13 @@
 
 Covers the L1/L2 cache layering of the exploration engine, the incremental
 ("warm store") acceptance criterion — a second run over the same trace
-performs zero fresh profiler evaluations — and recovery from corrupt or
-partially written store files.
+performs zero fresh profiler evaluations — recovery from corrupt or
+partially written store files, and concurrent-writer safety (parallel
+shards on one host sharing a single store file).
 """
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -178,6 +180,70 @@ class TestCorruptionRecovery:
             handle.write(json.dumps(entry) + "\n")
         store = ResultStore(path)
         assert store.get("fp", point).configuration.label == "second"
+
+
+def _append_worker(path, worker, entries, barrier):
+    """Subprocess body: hammer one shared store file with appends."""
+    trace = UniformRandomWorkload(operations=300).generate(seed=7)
+    engine = ExplorationEngine(smoke_parameter_space(), trace)
+    record = engine.run_point(engine.space.point_at(0), label=f"worker{worker}")
+    with ResultStore(path) as store:
+        barrier.wait()  # maximise interleaving: everyone appends at once
+        for index in range(entries):
+            # Distinct fingerprints -> every append is a distinct key.
+            store.put(f"worker{worker}-fp{index}", {"i": index}, record)
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_share_one_store_file(self, tmp_path):
+        """Acceptance (concurrent-writer safety): N processes append to one
+        store file simultaneously; every entry survives, none is torn."""
+        path = tmp_path / "shared.jsonl"
+        workers, entries = 4, 25
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(workers)
+        processes = [
+            context.Process(
+                target=_append_worker, args=(str(path), worker, entries, barrier)
+            )
+            for worker in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        store = ResultStore(path)
+        assert store.corrupt_entries == 0
+        assert store.loaded == workers * entries
+        for worker in range(workers):
+            for index in range(entries):
+                assert store.contains(f"worker{worker}-fp{index}", {"i": index})
+
+    def test_racing_writers_of_the_same_key_keep_the_store_loadable(self, tmp_path, small_trace):
+        # Two handles that both believe the key is absent (the in-memory
+        # view is per-process) append the same key; last write wins.
+        path = tmp_path / "store.jsonl"
+        engine = make_engine(small_trace, store=None)
+        point = engine.space.point_at(0)
+        first = ResultStore(path)
+        second = ResultStore(path)
+        assert first.put("fp", point, engine.run_point(point, label="first"))
+        assert second.put("fp", point, engine.run_point(point, label="second"))
+        first.close()
+        second.close()
+        reopened = ResultStore(path)
+        assert reopened.corrupt_entries == 0
+        assert reopened.get("fp", point).configuration.label == "second"
+
+    def test_contains_does_not_touch_counters(self, tmp_path, small_trace):
+        store = ResultStore(tmp_path / "store.jsonl")
+        engine = make_engine(small_trace, store=None)
+        point = engine.space.point_at(0)
+        store.put("fp", point, engine.run_point(point))
+        assert store.contains("fp", point)
+        assert not store.contains("other", point)
+        assert store.hits == 0 and store.misses == 0
 
 
 class TestEngineStoreIntegration:

@@ -1,0 +1,306 @@
+"""Streaming-pipeline tests: sinks, live fronts, store-backed reporting.
+
+Covers the streaming refactor end to end:
+
+* records flow into :class:`ResultSink` consumers while the exploration /
+  search runs (not from a finished-database snapshot),
+* :class:`ResultDatabase` maintains its Pareto front incrementally and
+  stays equivalent to the batch computation,
+* :class:`StoreRecordSource` replays a persistent store file as an ordered
+  record stream (filtered, last-write-wins, re-iterable),
+* ``dmexplore report --store`` reproduces the batch report over merged
+  shard artefacts **byte-identically**, exports included — the acceptance
+  criterion of the streaming rework.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.exploration import ExplorationEngine, ExplorationSettings, ShardSpec
+from repro.core.pareto import pareto_front
+from repro.core.results import (
+    ResultDatabase,
+    ResultSink,
+    StreamingParetoSink,
+    StreamingResultView,
+)
+from repro.core.search import RandomSearch, SearchBudget
+from repro.core.space import smoke_parameter_space
+from repro.core.store import ResultStore, StoreRecordSource
+from repro.workloads.synthetic import UniformRandomWorkload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return UniformRandomWorkload(operations=300).generate(seed=7)
+
+
+@pytest.fixture(scope="module")
+def database(trace):
+    return ExplorationEngine(smoke_parameter_space(), trace).explore()
+
+
+class RecordingSink:
+    """Test double: remembers arrival order and how often accept() ran."""
+
+    def __init__(self):
+        self.records = []
+
+    def accept(self, record):
+        self.records.append(record)
+
+
+class TestResultSinks:
+    def test_database_is_a_sink(self):
+        assert isinstance(ResultDatabase(), ResultSink)
+
+    def test_explore_streams_every_record_in_order(self, trace):
+        engine = ExplorationEngine(smoke_parameter_space(), trace)
+        sink = RecordingSink()
+        database = engine.explore(sink=sink)
+        assert [r.configuration_id for r in sink.records] == [
+            r.configuration_id for r in database
+        ]
+
+    def test_search_streams_every_record_in_order(self, trace):
+        engine = ExplorationEngine(smoke_parameter_space(), trace)
+        sink = RecordingSink()
+        database = RandomSearch(engine, SearchBudget(evaluations=6, seed=1)).run(
+            sink=sink
+        )
+        assert [r.configuration_id for r in sink.records] == [
+            r.configuration_id for r in database
+        ]
+
+    def test_streaming_pareto_sink_matches_database_front(self, trace):
+        engine = ExplorationEngine(smoke_parameter_space(), trace)
+        sink = StreamingParetoSink()
+        database = engine.explore(sink=sink)
+        assert sink.seen == len(database)
+        assert sink.records() == database.pareto_records()
+        assert len(sink.front) <= sink.feasible
+
+
+class TestLiveDatabaseFront:
+    def test_front_matches_batch_computation(self, database):
+        keys_variants = [None, ["accesses", "footprint"], ["energy_nj"]]
+        for keys in keys_variants:
+            live = database.pareto_records(keys)
+            candidates = database.feasible_records()
+            from repro.profiling.metrics import metric_keys
+
+            vector_keys = keys or metric_keys()
+            batch = pareto_front(
+                candidates, key=lambda r: r.metric_vector(vector_keys)
+            )
+            assert live == batch
+
+    def test_front_updates_as_records_are_added(self, database):
+        incremental = ResultDatabase()
+        for record in database:
+            incremental.add(record)
+            # Query mid-stream: the live front must always equal a batch
+            # recomputation over what has arrived so far.
+            live = incremental.pareto_records()
+            batch = pareto_front(
+                incremental.feasible_records(), key=lambda r: r.metric_vector()
+            )
+            assert live == batch
+
+    def test_trace_name_and_feasible_count(self, database):
+        assert database.trace_name == database[0].trace_name
+        assert database.feasible_count == len(database.feasible_records())
+        assert database.has_feasible
+
+
+class TestStreamingResultView:
+    def test_view_matches_database_queries(self, database):
+        view = StreamingResultView(database.records, name=database.name)
+        assert len(view) == len(database)
+        assert view.trace_name == database.trace_name
+        assert view.feasible_count == database.feasible_count
+        for metric in ("accesses", "footprint", "energy_nj", "cycles"):
+            assert view.metric_range(metric) == database.metric_range(metric)
+        assert view.pareto_records() == database.pareto_records()
+        assert view.knee_record() == database.knee_record()
+
+    def test_view_csv_identical_to_database_csv(self, database, tmp_path):
+        view = StreamingResultView(database.records)
+        database.to_csv(tmp_path / "db.csv")
+        view.to_csv(tmp_path / "view.csv")
+        assert (tmp_path / "db.csv").read_bytes() == (tmp_path / "view.csv").read_bytes()
+
+    def test_empty_view(self):
+        view = StreamingResultView([])
+        assert len(view) == 0
+        assert not view.has_feasible
+        with pytest.raises(ValueError):
+            view.metric_range("accesses")
+
+
+class TestStoreRecordSource:
+    def _populate(self, path, trace, shard=None):
+        settings = ExplorationSettings(shard=shard)
+        with ResultStore(path) as store:
+            engine = ExplorationEngine(
+                smoke_parameter_space(), trace, settings=settings, store=store
+            )
+            database = engine.explore()
+        return engine.fingerprint, database
+
+    def test_streams_in_enumeration_order_with_global_indices(self, tmp_path, trace):
+        path = tmp_path / "store.jsonl"
+        fingerprint, database = self._populate(path, trace)
+        source = StoreRecordSource(path, fingerprint, space=smoke_parameter_space())
+        records = list(source)
+        assert [r.configuration_id for r in records] == [
+            r.configuration_id for r in database
+        ]
+        assert [r.index for r in records] == [r.index for r in database]
+        # Re-iterable: a second pass yields the same stream.
+        assert [r.configuration_id for r in source] == [
+            r.configuration_id for r in records
+        ]
+
+    def test_filters_foreign_fingerprints(self, tmp_path, trace):
+        path = tmp_path / "store.jsonl"
+        fingerprint, database = self._populate(path, trace)
+        with ResultStore(path) as store:
+            store.put("other-fingerprint", {"x": 1}, database[0])
+        source = StoreRecordSource(path, fingerprint, space=smoke_parameter_space())
+        assert len(source) == len(database)
+        assert source.foreign_entries == 1
+
+    def test_last_write_wins(self, tmp_path, trace):
+        path = tmp_path / "store.jsonl"
+        fingerprint, database = self._populate(path, trace)
+        # A concurrent shard re-recorded point 0 under a different label.
+        point = database[0].parameters
+        duplicate = database[0]
+        entry = {
+            "fingerprint": fingerprint,
+            "point": point,
+            "metric_version": 1,
+            "record": {**duplicate.as_dict(), "trace_name": "rewritten"},
+        }
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+        source = StoreRecordSource(path, fingerprint, space=smoke_parameter_space())
+        assert len(source) == len(database)
+        assert next(iter(source)).trace_name == "rewritten"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        source = StoreRecordSource(tmp_path / "absent.jsonl", "fp")
+        assert len(source) == 0
+        assert list(source) == []
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestStoreBackedReportByteIdentity:
+    """Acceptance: report --store over a 3-shard merged store == batch report."""
+
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        """Three cold shard runs share one store; three warm re-runs produce
+        counter-free artefacts that merge into the batch reference."""
+        directory = tmp_path_factory.mktemp("store-report")
+        store = directory / "shared.jsonl"
+        flags = ["--workload", "uniform", "--space", "smoke", "--seed", "1"]
+        for phase in ("cold", "warm"):
+            for shard in (1, 2, 3):
+                out = directory / f"{phase}{shard}.json"
+                assert main(
+                    ["explore", *flags, "--shard", f"{shard}/3",
+                     "--store", str(store), "--out", str(out)]
+                ) == 0
+        assert main(
+            ["merge", str(directory / "warm1.json"), str(directory / "warm2.json"),
+             str(directory / "warm3.json"), "--out", str(directory / "merged.json")]
+        ) == 0
+        return directory, store, flags
+
+    def test_report_is_byte_identical(self, workspace, capsys):
+        directory, store, flags = workspace
+        capsys.readouterr()
+        batch = run_cli(capsys, "report", str(directory / "merged.json"))
+        streamed = run_cli(capsys, "report", "--store", str(store), *flags)
+        assert streamed == batch
+
+    def test_exports_are_byte_identical(self, workspace, capsys):
+        directory, store, flags = workspace
+        capsys.readouterr()
+        run_cli(
+            capsys, "report", str(directory / "merged.json"),
+            "--export-dir", str(directory / "batch-art"),
+        )
+        run_cli(
+            capsys, "report", "--store", str(store), *flags,
+            "--export-dir", str(directory / "stream-art"),
+        )
+        batch_files = sorted(p.name for p in (directory / "batch-art").iterdir())
+        stream_files = sorted(p.name for p in (directory / "stream-art").iterdir())
+        assert batch_files == stream_files and batch_files
+        for name in batch_files:
+            batch_bytes = (directory / "batch-art" / name).read_bytes()
+            stream_bytes = (directory / "stream-art" / name).read_bytes()
+            if name.endswith(".gp"):
+                # The gnuplot script embeds its own output directory; that
+                # is the only permitted difference.
+                batch_bytes = batch_bytes.replace(b"batch-art", b"EXPORT")
+                stream_bytes = stream_bytes.replace(b"stream-art", b"EXPORT")
+            assert batch_bytes == stream_bytes, (
+                f"{name} differs between batch and streamed export"
+            )
+
+    def test_metrics_selection_flows_through(self, workspace, capsys):
+        directory, store, flags = workspace
+        capsys.readouterr()
+        out = run_cli(
+            capsys, "report", "--store", str(store), *flags,
+            "--metrics", "accesses", "footprint",
+        )
+        assert "accesses" in out and "footprint" in out
+        table_lines = [line for line in out.splitlines() if line.startswith("energy_nj")]
+        assert not table_lines  # deselected metrics leave the trade-off table
+
+    def test_report_requires_exactly_one_input(self, workspace, capsys):
+        directory, store, _flags = workspace
+        assert main(["report"]) == 2
+        assert (
+            main(["report", str(directory / "merged.json"), "--store", str(store)])
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_report_store_with_wrong_context_fails_cleanly(self, workspace, capsys):
+        _directory, store, _flags = workspace
+        code = main(
+            ["report", "--store", str(store), "--workload", "uniform",
+             "--space", "smoke", "--seed", "99"]
+        )
+        assert code == 2
+        assert "holds no records" in capsys.readouterr().err
+
+
+class TestReportMetricsSelection:
+    def test_report_metrics_on_json_artifact(self, tmp_path, capsys):
+        out = tmp_path / "db.json"
+        assert main(
+            ["explore", "--workload", "uniform", "--space", "smoke",
+             "--seed", "1", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        text = run_cli(
+            capsys, "report", str(out), "--metrics", "accesses", "cycles",
+            "--export-dir", str(tmp_path / "art"),
+        )
+        assert "accesses" in text
+        header = (tmp_path / "art" / "exploration_all.csv").read_text().splitlines()[0]
+        assert "accesses" in header and "cycles" in header
+        assert "energy_nj" not in header and "footprint" not in header
