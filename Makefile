@@ -36,4 +36,29 @@ verify-shards:
 	@echo "3-shard merge reproduces the single-run database byte-identically"
 	rm -rf $(SHARD_DIR)
 
-.PHONY: verify bench verify-docs verify-bench verify-shards
+# Declarative-experiment verification: the default spec emitted by
+# `dmexplore spec` must dry-run, run, and produce a database byte-identical
+# to the equivalent legacy `dmexplore explore` flag invocation — for the
+# exhaustive and one heuristic strategy.  CI runs the same flow.
+SPEC_DIR := .spec-demo
+verify-spec:
+	rm -rf $(SPEC_DIR) && mkdir -p $(SPEC_DIR)
+	$(RUN) -m repro spec --out $(SPEC_DIR)/experiment.json
+	$(RUN) -m repro run $(SPEC_DIR)/experiment.json --dry-run > $(SPEC_DIR)/resolved.json
+	$(RUN) -m repro run $(SPEC_DIR)/experiment.json \
+	  --set workload.name=uniform --set space.name=smoke --set seed=1 \
+	  --out $(SPEC_DIR)/run.json
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --out $(SPEC_DIR)/flags.json
+	cmp $(SPEC_DIR)/run.json $(SPEC_DIR)/flags.json
+	$(RUN) -m repro run $(SPEC_DIR)/experiment.json \
+	  --set workload.name=uniform --set space.name=smoke --set seed=1 \
+	  --set strategy.name=random --set strategy.params.budget=6 \
+	  --out $(SPEC_DIR)/run-random.json
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --strategy random --budget 6 --out $(SPEC_DIR)/flags-random.json
+	cmp $(SPEC_DIR)/run-random.json $(SPEC_DIR)/flags-random.json
+	@echo "spec-driven runs reproduce the flag invocations byte-identically"
+	rm -rf $(SPEC_DIR)
+
+.PHONY: verify bench verify-docs verify-bench verify-shards verify-spec

@@ -20,17 +20,29 @@ The package is organised in five layers:
 
 Quick start::
 
-    from repro import (
-        EasyportWorkload, ExplorationEngine, compact_parameter_space,
-        exploration_report,
-    )
+    from repro import ComponentRef, ExperimentSpec, run_experiment
 
-    trace = EasyportWorkload(packets=2000).generate(seed=1)
-    engine = ExplorationEngine(compact_parameter_space(), trace)
-    database = engine.explore()
-    print(exploration_report(database))
+    spec = ExperimentSpec(workload=ComponentRef("easyport"),
+                          space=ComponentRef("compact"), seed=1)
+    result = run_experiment(spec)
+    print(result.report())
+
+The declarative layer (:mod:`repro.api`) is the stable surface: an
+:class:`ExperimentSpec` names every component of a run through open
+registries, and :class:`Experiment` executes it — the CLI is a thin shell
+over exactly this.  The lower layers remain importable for fine-grained
+control (build an :class:`ExplorationEngine` by hand, compose allocators
+directly).
 """
 
+from .api import (
+    ComponentRef,
+    Experiment,
+    ExperimentSpec,
+    RunResult,
+    SpecError,
+    run_experiment,
+)
 from .core import (
     METRIC_VERSION,
     AllocatorConfiguration,
@@ -92,9 +104,12 @@ __all__ = [
     "AllocationTrace",
     "AllocatorConfiguration",
     "AllocatorFactory",
+    "ComponentRef",
     "EasyportWorkload",
     "EnergyModel",
     "EvaluationBackend",
+    "Experiment",
+    "ExperimentSpec",
     "ExplorationEngine",
     "ExplorationRecord",
     "ExplorationSettings",
@@ -115,8 +130,10 @@ __all__ = [
     "ResultDatabase",
     "ResultSink",
     "ResultStore",
+    "RunResult",
     "SerialBackend",
     "ShardSpec",
+    "SpecError",
     "StoreRecordSource",
     "StreamingParetoSink",
     "StreamingResultView",
@@ -135,6 +152,7 @@ __all__ = [
     "merge_databases",
     "pareto_front",
     "profile_trace",
+    "run_experiment",
     "smoke_parameter_space",
     "vtc_reference_trace",
 ]

@@ -1,84 +1,113 @@
 """Command-line interface of the exploration tool.
 
-``dmexplore`` (or ``python -m repro``) exposes the automated flow end to end:
+``dmexplore`` (or ``python -m repro``) is a thin shell over the
+declarative experiment API (:mod:`repro.api`): every subcommand constructs
+an :class:`~repro.api.ExperimentSpec` and hands it to
+:class:`~repro.api.Experiment`, so a flag invocation and the equivalent
+``dmexplore run EXPERIMENT.json`` produce byte-identical artefacts.
 
+* ``dmexplore spec --out experiment.json``
+    emit the commented default experiment description,
+* ``dmexplore run experiment.json --set strategy.name=random``
+    run an experiment file (``--dry-run`` prints the resolved spec),
+* ``dmexplore list workloads``
+    enumerate what the registries offer (all kinds without an argument),
 * ``dmexplore explore --workload easyport --space compact --out results.json``
-    run an exploration and store the result database,
-* ``dmexplore explore --store cache.jsonl --shard 2/3 --out shard2.json``
-    run one shard of the enumeration, backed by a persistent result store,
-* ``dmexplore merge shard1.json shard2.json shard3.json --out merged.json``
+    run an exploration straight from flags,
+* ``dmexplore merge shard1.json shard2.json --out merged.json``
     union shard artefacts back into one database,
 * ``dmexplore pareto results.json``
     print the Pareto-optimal configurations of a stored database,
 * ``dmexplore report results.json --export-dir out/``
-    print the dashboard and export the CSV / gnuplot artefacts,
-* ``dmexplore report --store cache.jsonl --workload uniform --space smoke``
-    stream the dashboard straight from a persistent result store — no JSON
-    artefact, no whole-run load, O(front) record memory,
+    print the dashboard and export the CSV / gnuplot artefacts
+    (``--store PATH`` streams it straight from a persistent result store),
 * ``dmexplore trace --workload vtc --out vtc.trace``
     generate and save a workload trace for inspection or reuse.
 
-Every subcommand and flag is documented in ``docs/cli.md``.
+Every subcommand and flag is documented in ``docs/cli.md``.  The argparse
+defaults are *derived from* :class:`~repro.api.ExperimentSpec` — the spec
+is the single source of defaults (``tests/test_api.py`` asserts it).
+
+Third-party components registered through :mod:`repro.api.registry`
+(``registry.strategies.register(...)`` etc.) appear in the ``--workload``/
+``--space``/``--strategy`` choices and in ``dmexplore list`` automatically:
+the parser reads the registries live.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 from pathlib import Path
 
-from .core.exploration import (
-    ExplorationEngine,
-    ExplorationSettings,
-    ShardSpec,
-    make_backend,
+from .api import registry
+from .api.experiment import Experiment, ResolvedExperiment
+from .api.spec import (
+    DEFAULT_SEARCH_BUDGET,
+    ComponentRef,
+    ExperimentSpec,
+    SpecError,
+    apply_overrides,
+    default_spec_document,
 )
-from .core.reporting import describe_record, exploration_report
+from .core.reporting import describe_record
 from .core.results import ResultDatabase, StreamingResultView
-from .core.search import (
-    EvolutionarySearch,
-    HillClimbSearch,
-    RandomSearch,
-    SearchBudget,
-)
-from .core.space import STANDARD_SPACES
 from .core.store import (
     MergeError,
-    ResultStore,
     StoreError,
     StoreRecordSource,
-    default_store_path,
     merge_databases,
 )
 from .gui.report import dashboard, export_artifacts
-from .memhier.hierarchy import embedded_three_level, embedded_two_level
 from .profiling.metrics import metric_keys
-from .workloads.easyport import EasyportWorkload
-from .workloads.synthetic import BurstyWorkload, UniformRandomWorkload
 from .workloads.traces import save_trace
-from .workloads.vtc import VTCWorkload
 
-#: Workload factories selectable from the command line.
-WORKLOADS = {
-    "easyport": lambda: EasyportWorkload(packets=4000),
-    "vtc": lambda: VTCWorkload(image_width=128, image_height=128),
-    "uniform": lambda: UniformRandomWorkload(operations=3000),
-    "bursty": lambda: BurstyWorkload(bursts=15, burst_length=80),
+#: The default experiment — the single source of the CLI defaults below.
+_DEFAULTS = ExperimentSpec()
+
+#: Registry kinds ``dmexplore list`` can enumerate.
+LIST_KINDS = {
+    "workloads": registry.workloads,
+    "spaces": registry.spaces,
+    "hierarchies": registry.hierarchies,
+    "strategies": registry.strategies,
+    "backends": registry.backends,
+    "sinks": registry.sinks,
 }
 
-#: Parameter-space factories selectable from the command line (one shared
-#: registry with the library, see :data:`repro.core.space.STANDARD_SPACES`).
-SPACES = STANDARD_SPACES
 
-#: Hierarchy factories selectable from the command line.
-HIERARCHIES = {
-    "2level": embedded_two_level,
-    "3level": embedded_three_level,
-}
+def __getattr__(name: str):
+    """Deprecation shims for the pre-spec module-level registries.
 
-#: Search strategies selectable with ``explore --strategy`` (exhaustive is
-#: the paper's default and handled by the engine itself).
-STRATEGIES = ("exhaustive", "random", "hillclimb", "evolutionary")
+    ``WORKLOADS``/``SPACES``/``HIERARCHIES`` were plain name→factory dicts
+    and ``STRATEGIES`` a tuple of names; they now live in
+    :mod:`repro.api.registry`.  The shims keep old imports working (one
+    snapshot per access — later third-party registrations appear on the
+    next access).
+    """
+    shims = {
+        "WORKLOADS": lambda: {
+            entry.name: (lambda e=entry: e.create())
+            for entry in registry.workloads.items()
+        },
+        "SPACES": lambda: {
+            entry.name: entry.factory for entry in registry.spaces.items()
+        },
+        "HIERARCHIES": lambda: {
+            entry.name: entry.factory for entry in registry.hierarchies.items()
+        },
+        "STRATEGIES": lambda: tuple(registry.strategies.names()),
+    }
+    if name in shims:
+        warnings.warn(
+            f"repro.cli.{name} is deprecated; use repro.api.registry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return shims[name]()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _jobs_count(text: str) -> int:
@@ -89,12 +118,15 @@ def _jobs_count(text: str) -> int:
     return value
 
 
-def _shard_spec(text: str) -> ShardSpec:
-    """argparse type for ``--shard``: the ``K/N`` form."""
+def _shard_label(text: str) -> str:
+    """argparse type for ``--shard``: validates the ``K/N`` form early."""
+    from .core.exploration import ShardSpec
+
     try:
-        return ShardSpec.parse(text)
+        ShardSpec.parse(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,16 +140,29 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     explore_parser = subparsers.add_parser("explore", help="run an exploration")
-    explore_parser.add_argument("--workload", choices=sorted(WORKLOADS), default="easyport")
-    explore_parser.add_argument("--space", choices=sorted(SPACES), default="compact")
-    explore_parser.add_argument("--hierarchy", choices=sorted(HIERARCHIES), default="2level")
-    explore_parser.add_argument("--seed", type=int, default=2006)
     explore_parser.add_argument(
-        "--sample", type=int, default=None, help="random-sample N points instead of exhaustive"
+        "--workload",
+        choices=registry.workloads.names(),
+        default=_DEFAULTS.workload.name,
+    )
+    explore_parser.add_argument(
+        "--space", choices=registry.spaces.names(), default=_DEFAULTS.space.name
+    )
+    explore_parser.add_argument(
+        "--hierarchy",
+        choices=registry.hierarchies.names(),
+        default=_DEFAULTS.hierarchy.name,
+    )
+    explore_parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
+    explore_parser.add_argument(
+        "--sample",
+        type=int,
+        default=_DEFAULTS.sample,
+        help="random-sample N points instead of exhaustive",
     )
     explore_parser.add_argument("--out", type=Path, default=Path("exploration.json"))
     explore_parser.add_argument(
-        "--metrics", nargs="+", choices=metric_keys(), default=None
+        "--metrics", nargs="+", choices=metric_keys(), default=_DEFAULTS.metrics
     )
     explore_parser.add_argument(
         "--jobs",
@@ -130,14 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore_parser.add_argument(
         "--strategy",
-        choices=STRATEGIES,
-        default="exhaustive",
+        choices=registry.strategies.names(),
+        default=_DEFAULTS.strategy.name,
         help="exhaustive enumeration (default) or a heuristic search",
     )
     explore_parser.add_argument(
         "--budget",
         type=int,
-        default=200,
+        default=DEFAULT_SEARCH_BUDGET,
         help="evaluation budget for heuristic strategies (ignored by exhaustive)",
     )
     explore_parser.add_argument(
@@ -154,8 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore_parser.add_argument(
         "--shard",
-        type=_shard_spec,
-        default=None,
+        type=_shard_label,
+        default=_DEFAULTS.shard or None,
         metavar="K/N",
         help=(
             "evaluate only shard K of N (1-based) of the enumeration; "
@@ -165,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument(
         "--prune",
         action="store_true",
+        default=_DEFAULTS.prune,
         help=(
             "heuristic strategies only: skip candidates whose prefix-replay "
             "metrics are already dominated by the live Pareto front, before "
@@ -174,12 +220,55 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument(
         "--prune-fraction",
         type=float,
-        default=0.25,
+        default=_DEFAULTS.prune_fraction,
         metavar="F",
         help=(
             "fraction of the trace replayed to predict a candidate's metrics "
-            "when --prune is on (default 0.25)"
+            f"when --prune is on (default {_DEFAULTS.prune_fraction})"
         ),
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="run an experiment described by a JSON spec file"
+    )
+    run_parser.add_argument(
+        "experiment", type=Path, help="experiment file written by 'dmexplore spec'"
+    )
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override one spec field with a dotted path, e.g. "
+            "--set strategy.name=random --set strategy.params.budget=64 "
+            "(repeatable; values parse as JSON, else as strings)"
+        ),
+    )
+    run_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate and print the resolved spec instead of running it",
+    )
+    run_parser.add_argument("--out", type=Path, default=Path("exploration.json"))
+
+    spec_parser = subparsers.add_parser(
+        "spec", help="emit the commented default experiment description"
+    )
+    spec_parser.add_argument(
+        "--out", type=Path, default=None, help="write to PATH instead of stdout"
+    )
+
+    list_parser = subparsers.add_parser(
+        "list", help="enumerate the registered experiment components"
+    )
+    list_parser.add_argument(
+        "kind",
+        nargs="?",
+        choices=sorted(LIST_KINDS),
+        default=None,
+        help="one registry to list (all of them without an argument)",
     )
 
     merge_parser = subparsers.add_parser(
@@ -213,10 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
             "the evaluation context, exactly as they did for 'explore'"
         ),
     )
-    report_parser.add_argument("--workload", choices=sorted(WORKLOADS), default="easyport")
-    report_parser.add_argument("--space", choices=sorted(SPACES), default="compact")
-    report_parser.add_argument("--hierarchy", choices=sorted(HIERARCHIES), default="2level")
-    report_parser.add_argument("--seed", type=int, default=2006)
+    report_parser.add_argument(
+        "--workload",
+        choices=registry.workloads.names(),
+        default=_DEFAULTS.workload.name,
+    )
+    report_parser.add_argument(
+        "--space", choices=registry.spaces.names(), default=_DEFAULTS.space.name
+    )
+    report_parser.add_argument(
+        "--hierarchy",
+        choices=registry.hierarchies.names(),
+        default=_DEFAULTS.hierarchy.name,
+    )
+    report_parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
     report_parser.add_argument(
         "--metrics",
         nargs="+",
@@ -229,88 +328,144 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--y-metric", choices=metric_keys(), default="footprint")
 
     trace_parser = subparsers.add_parser("trace", help="generate and save a workload trace")
-    trace_parser.add_argument("--workload", choices=sorted(WORKLOADS), default="easyport")
-    trace_parser.add_argument("--seed", type=int, default=2006)
+    trace_parser.add_argument(
+        "--workload",
+        choices=registry.workloads.names(),
+        default=_DEFAULTS.workload.name,
+    )
+    trace_parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
     trace_parser.add_argument("--out", type=Path, required=True)
 
     return parser
 
 
-def _command_explore(args: argparse.Namespace) -> int:
-    if args.shard is not None and args.strategy != "exhaustive":
-        print("error: --shard only applies to --strategy exhaustive", file=sys.stderr)
-        return 2
-    if args.prune and args.strategy == "exhaustive":
-        print(
-            "error: --prune only applies to heuristic strategies "
-            "(exhaustive runs must evaluate every point)",
-            file=sys.stderr,
-        )
-        return 2
-    if not 0.0 < args.prune_fraction < 1.0:
-        print("error: --prune-fraction must be in (0, 1)", file=sys.stderr)
-        return 2
-    workload = WORKLOADS[args.workload]()
-    trace = workload.generate(seed=args.seed)
-    space = SPACES[args.space]()
-    hierarchy = HIERARCHIES[args.hierarchy]()
-    settings = ExplorationSettings(
-        metrics=args.metrics or metric_keys(),
-        sample=args.sample,
-        progress_every=max(1, (args.sample or space.size()) // 10),
-        shard=args.shard,
-    )
-    backend = make_backend(args.jobs)  # validated non-negative by the parser
-    store = None
+# -- spec construction and execution ------------------------------------------
+
+
+def _spec_from_explore_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Translate ``explore`` flags into the equivalent experiment spec."""
+    if args.jobs == 1:
+        backend = ComponentRef("serial")
+    elif args.jobs == 0:
+        backend = ComponentRef("process")
+    else:
+        backend = ComponentRef("process", {"jobs": args.jobs})
     if hasattr(args, "store"):  # --store given (with or without a path)
-        store_path = args.store if args.store is not None else default_store_path()
-        try:
-            store = ResultStore(store_path)
-        except (StoreError, OSError) as error:
-            print(f"error: cannot open result store: {error}", file=sys.stderr)
-            return 2
-    print(f"workload: {workload.describe()}")
-    print(f"space: {space.size()} configurations ({args.space})")
-    if args.shard is not None:
-        owned = args.shard.size_of(args.sample or space.size())
-        print(f"shard: {args.shard.label} ({owned} configurations this run)")
-    print(f"evaluation backend: {getattr(backend, 'jobs', 1)} job(s)")
-    if store is not None:
-        print(
-            f"result store: {store.path} "
-            f"({store.loaded} entries loaded, {store.corrupt_entries} corrupt skipped)"
+        store = ComponentRef(
+            "jsonl", {"path": str(args.store)} if args.store is not None else {}
         )
-    engine = ExplorationEngine(
-        space, trace, hierarchy=hierarchy, settings=settings, backend=backend, store=store
+    else:
+        store = ComponentRef("none")
+    strategy_params = (
+        {} if args.strategy == "exhaustive" else {"budget": args.budget}
     )
-    try:
-        database = _run_strategy(engine, args)
-    finally:
-        engine.close()
-        if store is not None:
-            store.close()
-    database.to_json(args.out)
-    print(f"stored {len(database)} results in {args.out}")
-    print(exploration_report(database, title=f"{args.workload} exploration"))
+    return ExperimentSpec(
+        workload=ComponentRef(args.workload),
+        space=ComponentRef(args.space),
+        hierarchy=ComponentRef(args.hierarchy),
+        strategy=ComponentRef(args.strategy, strategy_params),
+        backend=backend,
+        store=store,
+        seed=args.seed,
+        metrics=tuple(args.metrics) if args.metrics else None,
+        sample=args.sample,
+        shard=args.shard or "",
+        prune=args.prune,
+        prune_fraction=args.prune_fraction,
+    )
+
+
+def _print_banner(resolved: ResolvedExperiment) -> None:
+    """The pre-run description lines every execution path prints."""
+    spec = resolved.spec
+    print(f"workload: {resolved.workload.describe()}")
+    print(f"space: {resolved.space.size()} configurations ({spec.space.name})")
+    if resolved.shard is not None:
+        owned = resolved.shard.size_of(spec.sample or resolved.space.size())
+        print(f"shard: {resolved.shard.label} ({owned} configurations this run)")
+    print(f"evaluation backend: {getattr(resolved.backend, 'jobs', 1)} job(s)")
+    if resolved.store is not None:
+        print(
+            f"result store: {resolved.store.path} "
+            f"({resolved.store.loaded} entries loaded, "
+            f"{resolved.store.corrupt_entries} corrupt skipped)"
+        )
+
+
+def _execute_spec(spec: ExperimentSpec, out: Path) -> int:
+    """Run a validated spec, write the artefact, print the report.
+
+    The single execution path behind both ``explore`` and ``run`` — which
+    is what makes their artefacts byte-identical for equivalent inputs.
+    """
+    experiment = Experiment(spec, progress=True)
+    resolved = experiment.resolve()
+    _print_banner(resolved)
+    result = experiment.run()
+    result.database.to_json(out)
+    print(f"stored {len(result.database)} results in {out}")
+    print(result.report(title=f"{spec.workload.name} exploration"))
     return 0
 
 
-def _run_strategy(engine: ExplorationEngine, args: argparse.Namespace) -> ResultDatabase:
-    """Dispatch ``explore --strategy`` to the engine or a heuristic search."""
-    if args.strategy == "exhaustive":
-        return engine.explore()
-    budget = SearchBudget(evaluations=args.budget, seed=args.seed)
-    metrics = args.metrics or metric_keys()
-    options = {
-        "metrics": metrics,
-        "prune": args.prune,
-        "prune_fraction": args.prune_fraction,
-    }
-    if args.strategy == "random":
-        return RandomSearch(engine, budget, **options).run()
-    if args.strategy == "hillclimb":
-        return HillClimbSearch(engine, budget, **options).run()
-    return EvolutionarySearch(engine, budget, **options).run()
+def _command_explore(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_explore_args(args)
+        return _execute_spec(spec, args.out)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        document = json.loads(args.experiment.read_text(encoding="utf-8"))
+    except OSError as error:
+        print(f"error: cannot read experiment file: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {args.experiment} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    try:
+        if not isinstance(document, dict):
+            raise SpecError("experiment document must be a JSON object")
+        apply_overrides(document, args.overrides)
+        spec = ExperimentSpec.from_dict(document)
+        if args.dry_run:
+            spec.validate()
+            print(json.dumps(spec.to_dict(), indent=2))
+            return 0
+        # _execute_spec validates through the Experiment constructor.
+        return _execute_spec(spec, args.out)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _command_spec(args: argparse.Namespace) -> int:
+    text = json.dumps(default_spec_document(), indent=2) + "\n"
+    if args.out is not None:
+        try:
+            args.out.write_text(text, encoding="utf-8")
+        except OSError as error:
+            print(f"error: cannot write spec file: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote default experiment spec to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    kinds = [args.kind] if args.kind else sorted(LIST_KINDS)
+    for position, kind in enumerate(kinds):
+        if position:
+            print()
+        print(f"{kind}:")
+        for entry in LIST_KINDS[kind].items():
+            description = entry.description or "(no description)"
+            print(f"  {entry.name:<14} {description}")
+    return 0
 
 
 def _command_merge(args: argparse.Namespace) -> int:
@@ -376,21 +531,26 @@ def _streamed_view(args: argparse.Namespace) -> StreamingResultView | None:
     """Build the streaming report view for ``report --store``.
 
     The workload/space/hierarchy/seed flags reconstruct the evaluation
-    fingerprint exactly as ``explore`` computed it, then the store file is
-    replayed as a record stream in global enumeration order — the report is
-    byte-identical to one over the merged JSON artefacts of the same runs,
-    without ever materialising the records.
+    fingerprint exactly as ``explore`` computed it (through the same
+    experiment resolution), then the store file is replayed as a record
+    stream in global enumeration order — the report is byte-identical to
+    one over the merged JSON artefacts of the same runs, without ever
+    materialising the records.
     """
     if not args.store.exists():
         print(f"error: result store {args.store} does not exist", file=sys.stderr)
         return None
-    workload = WORKLOADS[args.workload]()
-    trace = workload.generate(seed=args.seed)
-    space = SPACES[args.space]()
-    hierarchy = HIERARCHIES[args.hierarchy]()
-    engine = ExplorationEngine(space, trace, hierarchy=hierarchy)
+    spec = ExperimentSpec(
+        workload=ComponentRef(args.workload),
+        space=ComponentRef(args.space),
+        hierarchy=ComponentRef(args.hierarchy),
+        seed=args.seed,
+    )
+    resolved = Experiment(spec).resolve()
     try:
-        source = StoreRecordSource(args.store, engine.fingerprint, space=space)
+        source = StoreRecordSource(
+            args.store, resolved.engine.fingerprint, space=resolved.space
+        )
     except (StoreError, OSError) as error:
         print(f"error: cannot read result store: {error}", file=sys.stderr)
         return None
@@ -404,11 +564,11 @@ def _streamed_view(args: argparse.Namespace) -> StreamingResultView | None:
             file=sys.stderr,
         )
         return None
-    return StreamingResultView(source, name=f"{trace.name}-exploration")
+    return StreamingResultView(source, name=f"{resolved.trace.name}-exploration")
 
 
 def _command_trace(args: argparse.Namespace) -> int:
-    workload = WORKLOADS[args.workload]()
+    workload = registry.workloads.create(args.workload)
     trace = workload.generate(seed=args.seed)
     lines = save_trace(trace, args.out)
     summary = trace.summary()
@@ -426,6 +586,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     commands = {
         "explore": _command_explore,
+        "run": _command_run,
+        "spec": _command_spec,
+        "list": _command_list,
         "merge": _command_merge,
         "pareto": _command_pareto,
         "report": _command_report,

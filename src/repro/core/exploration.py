@@ -354,6 +354,11 @@ class ExplorationEngine:
         self.backend = backend or SerialBackend()
         # Persistent L2 behind the in-memory memoisation cache (may be None).
         self.store = store
+        # Canonical hash of the ExperimentSpec driving this engine ("" when
+        # the engine is used directly).  Stamped into artefact provenance
+        # and persisted store entries so a stored result can state exactly
+        # which experiment produced it; set by repro.api.Experiment.
+        self.spec_hash = ""
         # The hot block sizes drive which dedicated pools a configuration can
         # create; by default they are derived from the trace itself, exactly
         # as the paper's profiling pass would.
@@ -536,7 +541,9 @@ class ExplorationEngine:
             for (point, _label), key, record in zip(pending, pending_keys, records):
                 self._point_cache[key] = record
                 if self.store is not None:
-                    self.store.put(self.fingerprint, point, record)
+                    self.store.put(
+                        self.fingerprint, point, record, spec_hash=self.spec_hash
+                    )
                 first, *rest = positions_by_key[key]
                 results[first] = record
                 for position in rest:
@@ -637,6 +644,7 @@ class ExplorationEngine:
             sample=self.settings.sample,
             sample_seed=self.settings.sample_seed,
             shard=shard.label if shard is not None else "",
+            spec_hash=self.spec_hash,
         )
 
     def close(self) -> None:

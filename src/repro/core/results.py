@@ -104,6 +104,11 @@ class Provenance:
     ``shard``
         ``"K/N"`` when the artefact holds one shard of the enumeration,
         ``""`` for a complete (or merged) artefact.
+    ``spec_hash``
+        Canonical hash of the :class:`repro.api.ExperimentSpec` that
+        produced the artefact (shard-independent, so all shards of one
+        experiment share it), or ``""`` when the run was driven directly
+        through the engine rather than through an experiment spec.
     """
 
     fingerprint: str
@@ -112,15 +117,28 @@ class Provenance:
     sample: int | None = None
     sample_seed: int = 0
     shard: str = ""
+    spec_hash: str = ""
 
     def compatible_with(self, other: "Provenance") -> bool:
-        """True when two artefacts may be merged (everything but shard matches)."""
+        """True when two artefacts may be merged (everything but shard matches).
+
+        An empty ``spec_hash`` means "unknown experiment" (a direct engine
+        run, or an artefact from before spec hashes existed) and is
+        compatible with anything whose evaluation context otherwise
+        matches — two *different* non-empty hashes are distinct
+        experiments and never merge.
+        """
         return (
             self.fingerprint == other.fingerprint
             and self.space == other.space
             and self.metric_version == other.metric_version
             and self.sample == other.sample
             and self.sample_seed == other.sample_seed
+            and (
+                not self.spec_hash
+                or not other.spec_hash
+                or self.spec_hash == other.spec_hash
+            )
         )
 
     def as_dict(self) -> dict:
@@ -131,6 +149,7 @@ class Provenance:
             "sample": self.sample,
             "sample_seed": self.sample_seed,
             "shard": self.shard,
+            "spec_hash": self.spec_hash,
         }
 
     @classmethod
@@ -143,6 +162,7 @@ class Provenance:
             sample=None if sample is None else int(sample),
             sample_seed=int(data.get("sample_seed", 0)),
             shard=data.get("shard", ""),
+            spec_hash=data.get("spec_hash", ""),
         )
 
 

@@ -60,12 +60,22 @@ from .exploration import ExplorationEngine
 from .pareto import IncrementalParetoFront, pareto_rank
 from .results import ExplorationRecord, ResultDatabase, ResultSink
 
+#: Default evaluation budget of a heuristic search.  This is the single
+#: definition — :class:`SearchBudget`, the experiment spec and the CLI all
+#: derive their default from it.
+DEFAULT_SEARCH_BUDGET = 200
+
+#: Default fraction of the trace replayed per dominance-pruning prediction.
+#: Single definition, consumed by :class:`SearchStrategy`, the experiment
+#: spec and the CLI.
+DEFAULT_PRUNE_FRACTION = 0.25
+
 
 @dataclass
 class SearchBudget:
     """How many configuration evaluations a heuristic search may spend."""
 
-    evaluations: int = 200
+    evaluations: int = DEFAULT_SEARCH_BUDGET
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -112,7 +122,7 @@ class SearchStrategy:
         budget: SearchBudget | None = None,
         metrics: list[str] | None = None,
         prune: bool = False,
-        prune_fraction: float = 0.25,
+        prune_fraction: float = DEFAULT_PRUNE_FRACTION,
     ) -> None:
         self.engine = engine
         self.budget = budget or SearchBudget()
@@ -372,7 +382,7 @@ class HillClimbSearch(SearchStrategy):
         metrics: list[str] | None = None,
         neighbours_per_step: int = 4,
         prune: bool = False,
-        prune_fraction: float = 0.25,
+        prune_fraction: float = DEFAULT_PRUNE_FRACTION,
     ) -> None:
         super().__init__(engine, budget, metrics, prune, prune_fraction)
         self.neighbours_per_step = neighbours_per_step
@@ -441,7 +451,7 @@ class EvolutionarySearch(SearchStrategy):
         offspring: int = 16,
         mutation_rate: float = 0.3,
         prune: bool = False,
-        prune_fraction: float = 0.25,
+        prune_fraction: float = DEFAULT_PRUNE_FRACTION,
     ) -> None:
         super().__init__(engine, budget, metrics, prune, prune_fraction)
         if population <= 1 or offspring <= 0:

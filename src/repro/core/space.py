@@ -112,9 +112,12 @@ def vtc_parameter_space() -> ParameterSpace:
 
 #: Named parameter-space factories selectable from the CLI and the docs.
 #: One registry so ``dmexplore explore --space NAME``, the documentation and
-#: the tests can never drift apart on which spaces exist.
+#: the tests can never drift apart on which spaces exist.  The case-study
+#: spaces are included so the paper's experiments are reachable by name.
 STANDARD_SPACES = {
     "default": default_parameter_space,
     "compact": compact_parameter_space,
     "smoke": smoke_parameter_space,
+    "easyport": easyport_parameter_space,
+    "vtc": vtc_parameter_space,
 }

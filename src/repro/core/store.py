@@ -213,29 +213,40 @@ class ResultStore:
         key = (fingerprint, canonical_point_json(point), self.metric_version)
         return key in self._entries
 
-    def put(self, fingerprint: str, point: dict, record: ExplorationRecord) -> bool:
+    def put(
+        self,
+        fingerprint: str,
+        point: dict,
+        record: ExplorationRecord,
+        spec_hash: str = "",
+    ) -> bool:
         """Persist one evaluated point; returns False when already present.
 
         The entry reaches the file as one atomic, immediately written
         append (see :meth:`_append`), so a crash never loses more than the
         line being written — which the next open recovers from by skipping
         it — and appends from concurrent processes never interleave.
+
+        ``spec_hash`` (the canonical :class:`repro.api.ExperimentSpec`
+        hash, when the evaluation was driven by an experiment) is recorded
+        on the entry as provenance metadata; it is not part of the lookup
+        key, so experiments that differ only in strategy or backend still
+        share each other's evaluations.
         """
         key = (fingerprint, canonical_point_json(point), self.metric_version)
         if key in self._entries:
             return False
         payload = record.as_dict()
         self._entries[key] = payload
-        line = json.dumps(
-            {
-                "fingerprint": fingerprint,
-                "point": point,
-                "metric_version": self.metric_version,
-                "record": payload,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        entry = {
+            "fingerprint": fingerprint,
+            "point": point,
+            "metric_version": self.metric_version,
+            "record": payload,
+        }
+        if spec_hash:
+            entry["spec_hash"] = spec_hash
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
         self._append((line + "\n").encode("utf-8"))
         return True
 
@@ -449,8 +460,24 @@ def merge_databases(
         if not provenance.compatible_with(reference):
             raise MergeError(
                 f"artefact '{database.name}' is incompatible with "
-                f"'{databases[0].name}' (metric version or sampling settings differ)"
+                f"'{databases[0].name}' (metric version, sampling settings "
+                "or experiment spec differ)"
             )
+    # Spec-hash agreement must hold across *all* inputs, not just pairwise
+    # against the reference: an empty hash (pre-spec artefact or direct
+    # engine run) is a wildcard, but two different non-empty hashes are two
+    # different experiments even when a hashless reference sits between.
+    spec_hashes = {
+        database.provenance.spec_hash
+        for database in databases
+        if database.provenance is not None and database.provenance.spec_hash
+    }
+    if len(spec_hashes) > 1:
+        raise MergeError(
+            "artefacts were produced by different experiments "
+            "(their spec hashes differ)"
+        )
+    merged_spec_hash = spec_hashes.pop() if spec_hashes else ""
     space = ParameterSpace.from_dict(reference.space)
     indexed: dict[int, tuple[ExplorationRecord, str]] = {}
     for database in databases:
@@ -481,6 +508,7 @@ def merge_databases(
         sample=reference.sample,
         sample_seed=reference.sample_seed,
         shard="",
+        spec_hash=merged_spec_hash,
     )
     return merged
 

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import HIERARCHIES, SPACES, WORKLOADS, build_parser, main
+from repro.api import ExperimentSpec, registry
+from repro.cli import build_parser, main
 from repro.core.results import ResultDatabase
 
 
@@ -19,9 +20,14 @@ class TestParser:
         assert args.space == "compact"
 
     def test_registries_complete(self):
-        assert {"easyport", "vtc", "uniform", "bursty"} <= set(WORKLOADS)
-        assert {"default", "compact", "smoke"} <= set(SPACES)
-        assert {"2level", "3level"} <= set(HIERARCHIES)
+        assert {"easyport", "vtc", "uniform", "bursty"} <= set(registry.workloads)
+        assert {"default", "compact", "smoke", "easyport", "vtc"} <= set(
+            registry.spaces
+        )
+        assert {"2level", "3level"} <= set(registry.hierarchies)
+        assert {"exhaustive", "random", "hillclimb", "evolutionary"} <= set(
+            registry.strategies
+        )
 
 
 class TestCommands:
@@ -82,3 +88,235 @@ class TestCommands:
         assert code == 0
         database = ResultDatabase.from_json(database_path)
         assert len(database) == 4
+
+
+class TestSpecCommand:
+    def test_emits_a_runnable_commented_document(self, tmp_path, capsys):
+        path = tmp_path / "exp.json"
+        assert main(["spec", "--out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert any(key.startswith("//") for key in document)
+        assert ExperimentSpec.from_dict(document) == ExperimentSpec()
+
+    def test_prints_to_stdout_without_out(self, capsys):
+        assert main(["spec"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spec_version"] == ExperimentSpec().spec_version
+
+
+class TestRunCommand:
+    def spec_file(self, tmp_path, **overrides):
+        spec = ExperimentSpec.from_dict(
+            {
+                "spec_version": 1,
+                "workload": {"name": "uniform", "params": {"operations": 300}},
+                "space": "smoke",
+                "seed": 1,
+                **overrides,
+            }
+        )
+        path = tmp_path / "exp.json"
+        spec.to_json(path)
+        return path
+
+    def test_run_executes_a_spec_file(self, tmp_path, capsys):
+        spec_path = self.spec_file(tmp_path)
+        run_out = tmp_path / "run.json"
+        assert main(["run", str(spec_path), "--out", str(run_out)]) == 0
+        payload = json.loads(run_out.read_text())
+        assert payload["records"]
+        assert payload["provenance"]["spec_hash"]
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_run_with_overrides_matches_explore(self, tmp_path, capsys):
+        spec_path = tmp_path / "exp.json"
+        assert main(["spec", "--out", str(spec_path)]) == 0
+        run_out = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "run",
+                    str(spec_path),
+                    "--set",
+                    "workload.name=uniform",
+                    "--set",
+                    "space.name=smoke",
+                    "--set",
+                    "seed=1",
+                    "--out",
+                    str(run_out),
+                ]
+            )
+            == 0
+        )
+        legacy_out = tmp_path / "legacy.json"
+        assert (
+            main(
+                [
+                    "explore",
+                    "--workload",
+                    "uniform",
+                    "--space",
+                    "smoke",
+                    "--seed",
+                    "1",
+                    "--out",
+                    str(legacy_out),
+                ]
+            )
+            == 0
+        )
+        assert run_out.read_bytes() == legacy_out.read_bytes()
+
+    def test_run_heuristic_with_store_matches_explore(self, tmp_path, capsys):
+        spec_path = tmp_path / "exp.json"
+        assert main(["spec", "--out", str(spec_path)]) == 0
+        run_out = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "run",
+                    str(spec_path),
+                    "--set",
+                    "workload.name=uniform",
+                    "--set",
+                    "space.name=smoke",
+                    "--set",
+                    "seed=1",
+                    "--set",
+                    "strategy.name=random",
+                    "--set",
+                    "strategy.params.budget=6",
+                    "--set",
+                    "store.name=jsonl",
+                    "--set",
+                    f"store.params.path={tmp_path / 'run-store.jsonl'}",
+                    "--out",
+                    str(run_out),
+                ]
+            )
+            == 0
+        )
+        legacy_out = tmp_path / "legacy.json"
+        assert (
+            main(
+                [
+                    "explore",
+                    "--workload",
+                    "uniform",
+                    "--space",
+                    "smoke",
+                    "--seed",
+                    "1",
+                    "--strategy",
+                    "random",
+                    "--budget",
+                    "6",
+                    "--store",
+                    str(tmp_path / "legacy-store.jsonl"),
+                    "--out",
+                    str(legacy_out),
+                ]
+            )
+            == 0
+        )
+        assert run_out.read_bytes() == legacy_out.read_bytes()
+
+    def test_dry_run_prints_resolved_spec_and_runs_nothing(self, tmp_path, capsys):
+        spec_path = self.spec_file(tmp_path)
+        out = tmp_path / "nothing.json"
+        assert (
+            main(
+                [
+                    "run",
+                    str(spec_path),
+                    "--set",
+                    "strategy.name=random",
+                    "--dry-run",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert not out.exists()
+        document = json.loads(capsys.readouterr().out)
+        assert document["strategy"]["name"] == "random"
+        assert document["workload"]["params"] == {"operations": 300}
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_spec_names_the_key(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"spec_version": 1, "workload": "nosuch"}))
+        assert main(["run", str(path)]) == 2
+        assert "workload.name" in capsys.readouterr().err
+
+    def test_malformed_json_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["run", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_misspelled_strategy_param_is_a_clean_error(self, tmp_path, capsys):
+        spec_path = self.spec_file(tmp_path, strategy={"name": "random"})
+        code = main(
+            ["run", str(spec_path), "--set", "strategy.params.bugdet=6"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "strategy" in err and "bugdet" in err
+
+    def test_dry_run_rejects_misspelled_strategy_param(self, tmp_path, capsys):
+        """Typos are caught at validation — before any work is done."""
+        spec_path = self.spec_file(tmp_path, strategy={"name": "random"})
+        code = main(
+            ["run", str(spec_path), "--set", "strategy.params.bugdet=6", "--dry-run"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bugdet" in err
+
+    def test_spec_unwritable_out_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["spec", "--out", str(tmp_path / "no-such-dir" / "exp.json")])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_bad_backend_value_is_a_clean_error(self, tmp_path, capsys):
+        spec_path = self.spec_file(tmp_path)
+        code = main(
+            [
+                "run",
+                str(spec_path),
+                "--set",
+                "backend.name=process",
+                "--set",
+                "backend.params.jobs=-1",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "backend" in err
+
+
+class TestListCommand:
+    def test_lists_one_kind(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "easyport" in output
+        assert "packet" in output  # the one-line description
+
+    def test_lists_everything_without_an_argument(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("workloads", "spaces", "hierarchies", "strategies",
+                     "backends", "sinks"):
+            assert f"{kind}:" in output
+
+    def test_rejects_unknown_kind(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["list", "gadgets"])

@@ -29,6 +29,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 DOC_FILES = [
     REPO / "README.md",
+    REPO / "docs" / "api.md",
     REPO / "docs" / "architecture.md",
     REPO / "docs" / "cli.md",
     REPO / "docs" / "exploring.md",
@@ -152,6 +153,36 @@ class TestReadmeQuickstartRuns:
         monkeypatch.chdir(tmp_path)
         for block in fenced_blocks(REPO / "README.md", "python"):
             exec(compile(block, "README.md", "exec"), {})
+
+
+class TestApiDocRuns:
+    def test_api_python_blocks_run_verbatim(self, tmp_path, monkeypatch):
+        """Every python block of docs/api.md executes (incl. registration)."""
+        monkeypatch.chdir(tmp_path)
+        blocks = fenced_blocks(REPO / "docs" / "api.md", "python")
+        assert blocks, "api.md should contain runnable python examples"
+        for block in blocks:
+            exec(compile(block, "api.md", "exec"), {})
+
+    def test_api_spec_flow_runs(self, tmp_path, monkeypatch, capsys):
+        """The spec -> run -> byte-identity promise of api.md, executed."""
+        monkeypatch.chdir(tmp_path)
+        assert run_line("dmexplore spec --out experiment.json") == 0
+        assert run_line(
+            "dmexplore run experiment.json --set workload.name=uniform"
+            " --set space.name=smoke --set seed=1 --out run.json"
+        ) == 0
+        assert run_line(
+            "dmexplore explore --workload uniform --space smoke --seed 1"
+            " --out flags.json"
+        ) == 0
+        assert (tmp_path / "run.json").read_bytes() == (
+            tmp_path / "flags.json"
+        ).read_bytes()
+        assert run_line("dmexplore run experiment.json --dry-run") == 0
+        assert run_line("dmexplore list") == 0
+        output = capsys.readouterr().out
+        assert "strategies:" in output
 
 
 class TestTutorialRuns:

@@ -266,7 +266,7 @@ class TestCLIShardMerge:
             + ["--shard", "1/2", "--strategy", "random"]
         )
         assert code == 2
-        assert "--shard" in capsys.readouterr().err
+        assert "shard" in capsys.readouterr().err
 
     def test_cli_store_flag(self, tmp_path, capsys):
         store = tmp_path / "store.jsonl"
