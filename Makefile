@@ -18,6 +18,11 @@ verify-docs:
 verify-bench:
 	$(RUN) -m pytest benchmarks/ -q
 
+# Evaluator benchmark: replay fast path vs legacy vs seed snapshot, plus
+# per-point latency and serial-vs-pool identity; writes BENCH_eval.json.
+bench-eval:
+	$(RUN) -m pytest benchmarks/test_eval_speed.py -q -s
+
 # Distributed-story verification: three shard runs, merged, must reproduce
 # the single-run exhaustive database byte-identically.  CI runs the same
 # flow with the shards on separate matrix workers.
@@ -61,4 +66,4 @@ verify-spec:
 	@echo "spec-driven runs reproduce the flag invocations byte-identically"
 	rm -rf $(SPEC_DIR)
 
-.PHONY: verify bench verify-docs verify-bench verify-shards verify-spec
+.PHONY: verify bench bench-eval verify-docs verify-bench verify-shards verify-spec

@@ -1,0 +1,281 @@
+"""Experiment EVAL-SPEED: the columnar evaluation fast path.
+
+Every explored configuration costs one full trace replay — the paper's
+"simulation of our dynamic application" step, the dominant cost the DATE'06
+flow prunes and parallelises around.  This benchmark measures that kernel
+across the three generations that exist in this repository:
+
+* **seed** — the original hot path (event-object loop, per-event
+  ``accepts()`` dispatch scan, helper-method counters, O(n) LIFO free
+  list), kept as an executable snapshot in :mod:`benchmarks._seed_replay`;
+* **legacy** — the current event-object loop
+  (``ProfilerOptions(fast_replay=False)``), which already benefits from the
+  allocator-level rewrites (routing table, O(1) LIFO, inlined counters);
+* **fast** — the compiled columnar replay (the default).
+
+All three must produce byte-identical metrics; the headline target is
+**fast ≥ 5× seed** on the replay microbenchmark.  Results are written to
+``BENCH_eval.json`` in the repository root — the baseline future
+performance PRs are measured against.
+
+Sizing: 30 000 Easyport packets in dedicated benchmark runs
+(``--benchmark-only``), 12 000 in plain test / CI-smoke runs.
+
+Run with ``pytest benchmarks/test_eval_speed.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.configuration import configuration_from_point
+from repro.core.exploration import (
+    ExplorationEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.core.factory import AllocatorFactory
+from repro.core.space import smoke_parameter_space
+from repro.memhier.hierarchy import embedded_two_level
+from repro.profiling.profiler import Profiler, ProfilerOptions
+from repro.workloads.easyport import EasyportWorkload
+
+from ._seed_replay import SeedProfiler, seedify_allocator
+from .common import SEED, print_table
+
+#: Where the machine-readable results land (repository root).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_eval.json"
+
+#: The replay-loop speedup the columnar fast path must deliver over the
+#: seed implementation (the PR's acceptance target).
+TARGET_SPEEDUP_VS_SEED = 5.0
+
+#: Representative configuration: dedicated fixed pools for the hot sizes in
+#: the scratchpad in front of a plain general pool — the paper's
+#: methodology, and the shape explorations evaluate thousands of times.
+REPLAY_POINT = {
+    "num_dedicated_pools": 5,
+    "dedicated_pool_kind": "fixed",
+    "dedicated_pool_placement": "scratchpad",
+    "general_free_list": "lifo",
+    "general_fit": "first_fit",
+    "general_coalescing": "never",
+    "general_splitting": "never",
+    "chunk_size": 4096,
+}
+
+#: Collected by the tests in this module, written once at module teardown.
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_bench_json(request):
+    """Write ``BENCH_eval.json`` after the module's measurements ran."""
+    yield
+    if not _RESULTS:  # pragma: no cover - nothing measured
+        return
+    dedicated = request.config.getoption("--benchmark-only", default=False)
+    document = {
+        "benchmark": "eval_speed",
+        "mode": "benchmark" if dedicated else "quick",
+        "seed": SEED,
+        **_RESULTS,
+    }
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {BENCH_PATH}")
+
+
+def _packets(request) -> int:
+    dedicated = request.config.getoption("--benchmark-only", default=False)
+    return 30_000 if dedicated else 12_000
+
+
+def _configuration(trace, hierarchy):
+    return configuration_from_point(
+        REPLAY_POINT,
+        hot_sizes=trace.hot_sizes(top=8),
+        scratchpad_module=hierarchy.fastest.name,
+        main_module=hierarchy.background_module.name,
+    )
+
+
+def _time_replay(factory, configuration, trace, make_profiler, prepare=None, rounds=5):
+    """Best-of-N wall time of the replay *only*.
+
+    The allocator is built (and optionally downgraded to the seed classes)
+    outside the timed region — the microbenchmark measures the replay loop,
+    not configuration construction — and a GC sweep runs before each round
+    so one implementation's garbage is never charged to the next.
+    """
+    import gc
+
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        built = factory.build(configuration)
+        allocator = prepare(built.allocator) if prepare else built.allocator
+        profiler = make_profiler(built.mapping)
+        gc.collect()
+        start = time.perf_counter()
+        result = profiler.run(allocator, trace, "bench")
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_replay_loop_speedup(benchmark, request):
+    """Replay microbenchmark: seed vs legacy vs compiled fast path.
+
+    One trace, one representative configuration, three replay
+    implementations; metrics must agree bit for bit, and the fast path must
+    clear :data:`TARGET_SPEEDUP_VS_SEED` over the seed implementation.
+    """
+    trace = EasyportWorkload(packets=_packets(request)).generate(seed=SEED)
+    events = len(trace)
+    hierarchy = embedded_two_level()
+    factory = AllocatorFactory(hierarchy)
+    configuration = _configuration(trace, hierarchy)
+    trace.compiled()  # compile once up front, as an exploration would
+
+    seed_seconds, seed_result = _time_replay(
+        factory, configuration, trace, SeedProfiler, prepare=seedify_allocator
+    )
+    legacy_seconds, legacy_result = _time_replay(
+        factory,
+        configuration,
+        trace,
+        lambda mapping: Profiler(mapping, options=ProfilerOptions(fast_replay=False)),
+    )
+
+    def fast_setup():
+        import gc
+
+        built = factory.build(configuration)
+        gc.collect()
+        return (built,), {}
+
+    def fast_target(built):
+        return Profiler(built.mapping).run(built.allocator, trace, "bench")
+
+    fast_result = benchmark.pedantic(
+        fast_target, setup=fast_setup, rounds=5, warmup_rounds=1
+    )
+    fast_seconds = benchmark.stats.stats.min
+
+    # Byte-identity across all three generations.
+    def as_bytes(result):
+        return json.dumps(result.as_dict(), sort_keys=True, default=repr)
+
+    assert as_bytes(fast_result) == as_bytes(legacy_result) == as_bytes(seed_result)
+
+    speedup_seed = seed_seconds / fast_seconds
+    speedup_legacy = legacy_seconds / fast_seconds
+    _RESULTS["replay"] = {
+        "events": events,
+        "seed_events_per_s": round(events / seed_seconds),
+        "legacy_events_per_s": round(events / legacy_seconds),
+        "fast_events_per_s": round(events / fast_seconds),
+        "speedup_vs_seed": round(speedup_seed, 2),
+        "speedup_vs_legacy": round(speedup_legacy, 2),
+        "target_vs_seed": TARGET_SPEEDUP_VS_SEED,
+        "identical_metrics": True,
+    }
+    print_table(
+        "Replay loop: seed vs legacy vs compiled fast path",
+        [
+            ("events", events, "-"),
+            ("seed replay", f"{seed_seconds * 1e3:.1f} ms", f"{events / seed_seconds:,.0f} ev/s"),
+            ("legacy loop", f"{legacy_seconds * 1e3:.1f} ms", f"{events / legacy_seconds:,.0f} ev/s"),
+            ("compiled fast path", f"{fast_seconds * 1e3:.1f} ms", f"{events / fast_seconds:,.0f} ev/s"),
+            ("speedup vs seed", f"x{speedup_seed:.2f}", f">= {TARGET_SPEEDUP_VS_SEED}"),
+            ("speedup vs legacy loop", f"x{speedup_legacy:.2f}", "-"),
+        ],
+        ("quantity", "measured", "note"),
+    )
+    dedicated = request.config.getoption("--benchmark-only", default=False)
+    # Dedicated runs must clear the acceptance target.  Quick runs execute
+    # on shared CI runners where wall-clock ratios can wobble, so they only
+    # sanity-check the direction and *record* the ratio in BENCH_eval.json.
+    floor = TARGET_SPEEDUP_VS_SEED if dedicated else 1.5
+    assert speedup_seed >= floor, (
+        f"fast path is only x{speedup_seed:.2f} over the seed replay "
+        f"(target x{floor})"
+    )
+    assert speedup_legacy > 1.0
+
+
+def test_per_point_latency(request):
+    """Per-point evaluation latency through the engine (the explore unit)."""
+    trace = EasyportWorkload(packets=_packets(request) // 3).generate(seed=SEED)
+    engine = ExplorationEngine(smoke_parameter_space(), trace)
+    items = [
+        (point, f"bench{index:03d}")
+        for index, point in enumerate(engine.space.points())
+    ]
+    start = time.perf_counter()
+    records = engine.evaluate_points(items)
+    elapsed = time.perf_counter() - start
+    per_point_ms = elapsed / len(items) * 1e3
+    _RESULTS["per_point"] = {
+        "points": len(items),
+        "trace_events": len(trace),
+        "serial_point_ms": round(per_point_ms, 3),
+        "events_per_s": round(len(trace) * len(items) / elapsed),
+    }
+    print_table(
+        "Per-point profiling latency (serial engine)",
+        [
+            ("points", len(items), "-"),
+            ("trace events", len(trace), "-"),
+            ("latency per point", f"{per_point_ms:.2f} ms", "-"),
+            ("throughput", f"{len(trace) * len(items) / elapsed:,.0f} ev/s", "-"),
+        ],
+        ("quantity", "measured", "note"),
+    )
+    assert len(records) == len(items)
+
+
+def test_serial_vs_pool_byte_identity_and_throughput(request, tmp_path):
+    """The pooled backend must stay byte-identical — and is measured here."""
+    trace = EasyportWorkload(packets=_packets(request) // 3).generate(seed=SEED)
+    space = smoke_parameter_space()
+
+    start = time.perf_counter()
+    serial_db = ExplorationEngine(space, trace, backend=SerialBackend()).explore()
+    serial_seconds = time.perf_counter() - start
+
+    backend = ProcessPoolBackend(jobs=2)
+    try:
+        start = time.perf_counter()
+        pool_db = ExplorationEngine(space, trace, backend=backend).explore()
+        pool_seconds = time.perf_counter() - start
+    finally:
+        backend.close()
+
+    serial_path, pool_path = tmp_path / "serial.json", tmp_path / "pool.json"
+    serial_db.to_json(serial_path)
+    pool_db.to_json(pool_path)
+    identical = serial_path.read_bytes() == pool_path.read_bytes()
+
+    _RESULTS["parallel"] = {
+        "jobs": 2,
+        "points": space.size(),
+        "serial_s": round(serial_seconds, 3),
+        "pool_s": round(pool_seconds, 3),
+        "pool_speedup": round(serial_seconds / pool_seconds, 2),
+        "identical_databases": identical,
+    }
+    print_table(
+        "Serial vs process-pool exploration (smoke space)",
+        [
+            ("points", space.size(), "-"),
+            ("serial", f"{serial_seconds:.2f} s", "-"),
+            ("pool (2 workers)", f"{pool_seconds:.2f} s", "-"),
+            ("byte-identical databases", identical, "required"),
+        ],
+        ("quantity", "measured", "note"),
+    )
+    assert identical

@@ -43,18 +43,33 @@ class ComposedAllocator:
         self.name = name
         self._owner_of: dict[int, Pool] = {}
         self._dispatch_accesses = 0
+        # Size -> ordered tuple of accepting pools.  ``Pool.accepts`` is a
+        # pure function of the request size and the pool's static
+        # configuration (true for every pool family in the library), so the
+        # routing table stays valid for the allocator's whole lifetime,
+        # across :meth:`reset` included.  Real traces have a handful of
+        # distinct sizes, so this replaces a per-event accepts() scan with
+        # one dict hit.
+        self._route_cache: dict[int, tuple[Pool, ...]] = {}
 
     # -- allocation interface --------------------------------------------
+
+    def routed_pools(self, size: int) -> tuple[Pool, ...]:
+        """Pools accepting ``size`` bytes, in dispatch order (memoised)."""
+        route = self._route_cache.get(size)
+        if route is None:
+            route = tuple(pool for pool in self.pools if pool.accepts(size))
+            self._route_cache[size] = route
+        return route
 
     def malloc(self, size: int) -> int:
         """Allocate ``size`` bytes; returns the simulated block address."""
         # The generated allocator dispatches through a size-indexed table:
         # one metadata read per operation, independent of the pool count.
         self._dispatch_accesses += 1
+        route = self.routed_pools(size)
         last_oom: OutOfMemoryError | None = None
-        for pool in self.pools:
-            if not pool.accepts(size):
-                continue
+        for pool in route:
             try:
                 address = pool.allocate(size)
             except OutOfMemoryError as exc:

@@ -86,7 +86,9 @@ class FreeList:
     def largest_block(self) -> Block | None:
         if not self._blocks:
             return None
-        return max(self._blocks, key=lambda block: block.size)
+        # Walk in search order so subclasses with a different internal
+        # storage order (LIFO) resolve size ties identically to a search.
+        return max(self.iterate(), key=lambda block: block.size)
 
     def _next_sequence(self) -> int:
         self._sequence += 1
@@ -98,13 +100,30 @@ class LIFOFreeList(FreeList):
 
     Cheapest insertion (O(1), one link write) and best cache behaviour on
     real hardware; tends to increase fragmentation for variable-size pools.
+
+    The stack is stored oldest-first internally so that both :meth:`push`
+    and :meth:`pop_front` touch the tail of the Python list (amortised O(1)
+    instead of the O(n) head insertion of a naive list); every observable
+    order — search order, :meth:`blocks`, :meth:`pop_front` — remains
+    newest-first.
     """
 
     policy_name = "lifo"
 
     def push(self, block: Block) -> None:
-        self._blocks.insert(0, block)
+        self._blocks.append(block)
         self.last_insertion_visits = 1
+
+    def iterate(self) -> Iterator[Block]:
+        return reversed(self._blocks)
+
+    def blocks(self) -> list[Block]:
+        return list(reversed(self._blocks))
+
+    def pop_front(self) -> Block:
+        if not self._blocks:
+            raise IndexError("pop from empty free list")
+        return self._blocks.pop()
 
 
 class FIFOFreeList(FreeList):

@@ -19,6 +19,8 @@ module the pool is mapped onto.
 
 from __future__ import annotations
 
+from collections import deque
+
 from .blocks import (
     DEFAULT_ALIGNMENT,
     Block,
@@ -44,6 +46,16 @@ from .stats import PoolStats
 #: fresh chunk (see :meth:`GeneralPool._grow_and_carve`).
 MIN_WILDERNESS_REMAINDER = MIN_REMAINDER_BYTES
 
+#: Default bound on the per-pool double-free detection set (``None`` keeps
+#: every freed address forever, the historical behaviour).  Long traces with
+#: high allocation churn make the set grow with the number of *distinct*
+#: freed addresses; set this (or :attr:`Pool.freed_address_limit` on a
+#: single pool) to keep only the most recently freed addresses.  Bounding
+#: the set never changes any metric — it only narrows the window in which a
+#: double free is diagnosed as :class:`DoubleFreeError` rather than the
+#: generic :class:`InvalidFreeError`.
+DEFAULT_FREED_ADDRESS_LIMIT: int | None = None
+
 
 class Pool:
     """Common interface and bookkeeping shared by every pool type."""
@@ -65,6 +77,81 @@ class Pool:
         self.stats = PoolStats()
         self._live: dict[int, Block] = {}
         self._freed_addresses: set[int] = set()
+        # Insertion-ordered shadow of _freed_addresses, maintained only when
+        # a bound is set.  It may contain stale entries — addresses recycled
+        # by a later allocation, or re-freed after recycling — so eviction
+        # consults _freed_counts (occurrences still in the deque) and only
+        # drops an address on its *last* occurrence, keeping the retained
+        # set the most recently freed addresses.
+        self._freed_order: deque[int] | None = None
+        self._freed_counts: dict[int, int] = {}
+        self._freed_limit: int | None = None
+        if DEFAULT_FREED_ADDRESS_LIMIT is not None:
+            self.freed_address_limit = DEFAULT_FREED_ADDRESS_LIMIT
+
+    @property
+    def freed_address_limit(self) -> int | None:
+        """Bound on the double-free detection set (``None`` = unlimited).
+
+        See :data:`DEFAULT_FREED_ADDRESS_LIMIT` for the trade-off.
+        """
+        return self._freed_limit
+
+    @freed_address_limit.setter
+    def freed_address_limit(self, limit: int | None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError(f"freed_address_limit must be >= 1, got {limit}")
+        self._freed_limit = limit
+        if limit is None:
+            self._freed_order = None
+            self._freed_counts = {}
+        else:
+            self._freed_order = deque(self._freed_addresses)
+            self._freed_counts = {address: 1 for address in self._freed_order}
+            self._trim_freed()
+
+    def _note_freed(self, address: int) -> None:
+        """Record ``address`` as freed, honouring the configured bound."""
+        self._freed_addresses.add(address)
+        order = self._freed_order
+        if order is not None:
+            order.append(address)
+            counts = self._freed_counts
+            counts[address] = counts.get(address, 0) + 1
+            if len(self._freed_addresses) > self._freed_limit:
+                self._trim_freed()
+            elif len(order) > 16 + 4 * self._freed_limit:
+                # Free/re-allocate cycles of the same few addresses never
+                # overflow the set, but would grow the deque without bound:
+                # rebuild it from the newest occurrence of each address.
+                self._compact_freed_order()
+
+    def _trim_freed(self) -> None:
+        freed = self._freed_addresses
+        order = self._freed_order
+        counts = self._freed_counts
+        limit = self._freed_limit
+        while len(freed) > limit and order:
+            address = order.popleft()
+            remaining = counts[address] - 1
+            if remaining:
+                # A newer occurrence of this address is still queued; the
+                # popped entry is stale, the address stays retained.
+                counts[address] = remaining
+                continue
+            del counts[address]
+            freed.discard(address)
+
+    def _compact_freed_order(self) -> None:
+        freed = self._freed_addresses
+        compacted: deque[int] = deque()
+        seen: set[int] = set()
+        for address in reversed(self._freed_order):
+            if address in freed and address not in seen:
+                seen.add(address)
+                compacted.appendleft(address)
+        self._freed_order = compacted
+        self._freed_counts = {address: 1 for address in compacted}
 
     # -- request routing ------------------------------------------------
 
@@ -106,7 +193,7 @@ class Pool:
             if address in self._freed_addresses:
                 raise DoubleFreeError(address)
             raise InvalidFreeError(address)
-        self._freed_addresses.add(address)
+        self._note_freed(address)
         self.stats.note_free(block.requested_size, block.size)
         block.mark_free()
         return block
@@ -135,6 +222,9 @@ class Pool:
         """Drop all state (used between exploration runs)."""
         self._live.clear()
         self._freed_addresses.clear()
+        if self._freed_order is not None:
+            self._freed_order.clear()
+            self._freed_counts.clear()
         self.space.reset()
         self.stats = PoolStats()
 
@@ -179,48 +269,70 @@ class FixedSizePool(Pool):
             return size == self.block_size
         return size <= self.block_size
 
+    # The two methods below are the innermost operations of a trace replay
+    # (the paper's hot sizes are served by dedicated pools), so they update
+    # the counters with direct attribute arithmetic instead of going through
+    # the AccessCounter/PoolStats helper methods — same numbers, a fraction
+    # of the interpreter work.
+
     def allocate(self, size: int) -> int:
         self._check_size(size)
-        if not self.accepts(size):
-            self.stats.failed_allocs += 1
+        stats = self.stats
+        if size != self.block_size if self.strict else size > self.block_size:
+            stats.failed_allocs += 1
             raise InvalidRequestError(
                 f"pool '{self.name}' only serves blocks up to {self.block_size} bytes, "
                 f"got request for {size}"
             )
+        accesses = stats.accesses
         if len(self.free_list) > 0:
             block = self.free_list.pop_front()
-            # One read to follow the head pointer, one write to update it.
-            self.stats.accesses.read(1)
-            self.stats.accesses.write(1)
-            self.stats.free_list_visits += 1
+            # One read to follow the head pointer, one write to update it,
+            # plus the header write for the allocated block.
+            accesses.reads += 1
+            accesses.writes += 2
+            stats.free_list_visits += 1
         else:
             try:
                 chunk = self._grow(self.gross_size)
             except OutOfMemoryError:
-                self.stats.failed_allocs += 1
+                stats.failed_allocs += 1
                 raise
             # Carve the chunk into fixed-size blocks; keep the first, push
-            # the rest on the free list (one header write per carved block).
-            block = Block(chunk.address, self.gross_size, pool_name=self.name)
+            # the rest on the free list (one header write per carved block,
+            # plus the header write for the allocated block).
+            gross = self.gross_size
+            block = Block(chunk.address, gross, pool_name=self.name)
             carved = 1
-            offset = chunk.address + self.gross_size
-            while offset + self.gross_size <= chunk.end:
-                self.free_list.push(
-                    Block(offset, self.gross_size, pool_name=self.name)
-                )
-                offset += self.gross_size
+            offset = chunk.address + gross
+            end = chunk.end
+            push = self.free_list.push
+            while offset + gross <= end:
+                push(Block(offset, gross, pool_name=self.name))
+                offset += gross
                 carved += 1
-            self.stats.accesses.write(carved)
-        # Header write for the allocated block.
-        self.stats.accesses.write(1)
-        self._register_live(block, size)
+            accesses.writes += carved + 1
+        # Inlined _register_live (the block just left the free list, so the
+        # mark_allocated state check can never fire).
+        block.status = BlockStatus.ALLOCATED
+        block.requested_size = size
+        self._live[block.address] = block
+        self._freed_addresses.discard(block.address)
+        stats.alloc_ops += 1
+        stats.live_blocks += 1
+        live_payload = stats.live_payload + size
+        stats.live_payload = live_payload
+        if live_payload > stats.peak_live_payload:
+            stats.peak_live_payload = live_payload
+        stats.live_gross += block.size
         return block.address
 
     def free(self, address: int) -> None:
         block = self._take_live(address)
         # Read the header to find the block size/pool, write the free-list link.
-        self.stats.accesses.read(1)
-        self.stats.accesses.write(1)
+        accesses = self.stats.accesses
+        accesses.reads += 1
+        accesses.writes += 1
         self.free_list.push(block)
 
 
@@ -277,25 +389,27 @@ class GeneralPool(Pool):
                 f"got request for {size}"
             )
         gross = gross_block_size(size, self.alignment)
+        stats = self.stats
+        accesses = stats.accesses
         result = self.fit.select(self.free_list, gross)
-        self.stats.accesses.read(result.visits)
-        self.stats.free_list_visits += result.visits
+        accesses.reads += result.visits
+        stats.free_list_visits += result.visits
         if result.found:
             block = result.block
             self.free_list.remove(block)
-            self.stats.accesses.write(1)  # unlink from the free list
+            accesses.writes += 1  # unlink from the free list
             split = self.splitting.split(block, gross)
             if split.did_split:
-                self.stats.splits += 1
-                self.stats.accesses.write(split.writes)
+                stats.splits += 1
+                accesses.writes += split.writes
                 self.free_list.push(split.remainder)
-                self.stats.accesses.read(self.free_list.last_insertion_visits)
-                self.stats.accesses.write(1)
+                accesses.reads += self.free_list.last_insertion_visits
+                accesses.writes += 1
                 block = split.allocated
         else:
             block = self._grow_and_carve(gross)
         # Header write for the allocated block.
-        self.stats.accesses.write(1)
+        accesses.writes += 1
         self._register_live(block, size)
         return block.address
 
@@ -329,20 +443,22 @@ class GeneralPool(Pool):
 
     def free(self, address: int) -> None:
         block = self._take_live(address)
+        stats = self.stats
+        accesses = stats.accesses
         # Header read to learn the block size.
-        self.stats.accesses.read(1)
+        accesses.reads += 1
         outcome = self.coalescing.on_free(block, self.free_list, self._may_merge)
-        self.stats.accesses.read(outcome.reads)
-        self.stats.accesses.write(outcome.writes)
-        self.stats.coalesces += outcome.merges
+        accesses.reads += outcome.reads
+        accesses.writes += outcome.writes
+        stats.coalesces += outcome.merges
         self.free_list.push(outcome.block)
-        self.stats.accesses.read(self.free_list.last_insertion_visits)
-        self.stats.accesses.write(1)
+        accesses.reads += self.free_list.last_insertion_visits
+        accesses.writes += 1
         maintenance = self.coalescing.maintenance(self.free_list, self._may_merge)
         if maintenance is not None:
-            self.stats.accesses.read(maintenance.reads)
-            self.stats.accesses.write(maintenance.writes)
-            self.stats.coalesces += maintenance.merges
+            accesses.reads += maintenance.reads
+            accesses.writes += maintenance.writes
+            stats.coalesces += maintenance.merges
 
     def _may_merge(self, lower: "Block", upper: "Block") -> bool:
         """Adjacent free blocks may merge only within one acquired chunk."""
@@ -394,7 +510,7 @@ class RegionPool(Pool):
         block = Block(self._bump, gross, pool_name=self.name)
         self._bump += gross
         # One pointer update + one header write.
-        self.stats.accesses.write(2)
+        self.stats.accesses.writes += 2
         self._register_live(block, size)
         return block.address
 
@@ -402,7 +518,7 @@ class RegionPool(Pool):
         self._take_live(address)
         # A region free is a header read only (the space is not reusable
         # until the region resets).
-        self.stats.accesses.read(1)
+        self.stats.accesses.reads += 1
 
     def reset_region(self) -> None:
         """Release every block and rewind the bump pointer.
@@ -412,6 +528,9 @@ class RegionPool(Pool):
         """
         self._live.clear()
         self._freed_addresses.clear()
+        if self._freed_order is not None:
+            self._freed_order.clear()
+            self._freed_counts.clear()
         self._bump = 0
         self._chunk_end = 0
         released = self.stats.footprint

@@ -194,11 +194,44 @@ class SerialBackend:
 # because ``multiprocessing`` can only dispatch to importable functions.
 _WORKER_ENGINE: "ExplorationEngine | None" = None
 
+# Compiled traces received by this process, keyed by (fingerprint, name).
+# With the ``fork`` start method the parent pre-populates this cache before
+# spawning workers, so re-created pools (e.g. after an engine settings
+# change) inherit the trace through copy-on-write memory instead of
+# re-deserialising it; ``spawn`` workers fall back to the shipped payload.
+_WORKER_TRACE_CACHE: "dict[tuple[str, str], AllocationTrace]" = {}
 
-def _pool_worker_init(payload: bytes) -> None:
-    """Unpickle the engine once per worker process (not once per task)."""
+#: Bound on the trace cache (a long-lived parent exploring many workloads
+#: should not pin every trace it ever shipped).
+_WORKER_TRACE_CACHE_LIMIT = 8
+
+
+def _cache_trace(key: tuple[str, str], trace: AllocationTrace) -> None:
+    if len(_WORKER_TRACE_CACHE) >= _WORKER_TRACE_CACHE_LIMIT:
+        _WORKER_TRACE_CACHE.pop(next(iter(_WORKER_TRACE_CACHE)))
+    _WORKER_TRACE_CACHE[key] = trace
+
+
+def _pool_worker_init(
+    engine_payload: bytes, trace_key: tuple[str, str], trace_payload: bytes
+) -> None:
+    """Install the worker's private engine (once per worker, not per task).
+
+    ``engine_payload`` is the engine state *without* the trace;
+    ``trace_payload`` is the pickled compiled (columnar) trace, cached by
+    ``trace_key`` so forked workers that already inherited the trace skip
+    deserialisation entirely.
+    """
     global _WORKER_ENGINE
-    _WORKER_ENGINE = pickle.loads(payload)
+    trace = _WORKER_TRACE_CACHE.get(trace_key)
+    if trace is None:
+        trace = AllocationTrace.from_compiled(pickle.loads(trace_payload))
+        _cache_trace(trace_key, trace)
+    state = pickle.loads(engine_payload)
+    state["trace"] = trace
+    engine = ExplorationEngine.__new__(ExplorationEngine)
+    engine.__setstate__(state)
+    _WORKER_ENGINE = engine
 
 
 def _pool_worker_evaluate(item: tuple[dict, str]) -> ExplorationRecord:
@@ -212,11 +245,16 @@ def _pool_worker_evaluate(item: tuple[dict, str]) -> ExplorationRecord:
 class ProcessPoolBackend:
     """Evaluate batches of points on a ``multiprocessing`` worker pool.
 
-    The engine (space, trace, hierarchy, energy model) is pickled **once**
-    per worker via the pool initializer; tasks then only carry the point and
-    its label.  ``Pool.map`` with an explicit chunk size gives chunked
-    dispatch and returns results in submission order, which keeps parallel
-    explorations deterministic and byte-identical with serial ones.
+    The engine state is shipped **once** per worker via the pool
+    initializer, split into two payloads: the engine-sans-trace state (a
+    few kilobytes, whatever the workload) and the compiled columnar trace,
+    keyed by its content fingerprint and cached per process — so tasks only
+    ever carry the point and its label, re-created pools re-use the
+    already-serialised trace payload, and the freshness digest computed per
+    batch never re-pickles the trace.  ``Pool.map`` with an explicit chunk
+    size gives chunked dispatch and returns results in submission order,
+    which keeps parallel explorations deterministic and byte-identical with
+    serial ones.
 
     Parameters
     ----------
@@ -251,22 +289,61 @@ class ProcessPoolBackend:
         # ``engine.hot_sizes`` between batches — so parallel runs can never
         # silently keep profiling against a stale worker snapshot.
         self._pool_state_digest: bytes | None = None
+        # Serialised compiled traces, keyed by (fingerprint, name): a pool
+        # re-created because of a settings change re-uses the bytes.
+        self._trace_payloads: dict[tuple[str, str], bytes] = {}
+
+    def _engine_payloads(
+        self, engine: "ExplorationEngine"
+    ) -> tuple[bytes, tuple[str, str], bytes]:
+        """Split the engine into its per-worker payloads.
+
+        Returns ``(engine-sans-trace payload, trace key, compiled-trace
+        payload)``.  The engine payload is O(settings), not O(events) — the
+        regression test asserts it stays flat as traces grow.
+        """
+        trace = engine.trace
+        compiled = trace.compiled()
+        key = (compiled.fingerprint, trace.name)
+        trace_payload = self._trace_payloads.get(key)
+        if trace_payload is None:
+            trace_payload = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(self._trace_payloads) >= _WORKER_TRACE_CACHE_LIMIT:
+                self._trace_payloads.pop(next(iter(self._trace_payloads)))
+            self._trace_payloads[key] = trace_payload
+        state = engine.__getstate__()
+        state.pop("trace")
+        engine_payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        return engine_payload, key, trace_payload
 
     # The pool is created lazily on the first batch and kept while the
     # engine state is unchanged: heuristic searches evaluate many small
     # generations, and re-forking workers per generation would dominate the
-    # runtime.  Pickling the engine per batch to compute the digest is cheap
-    # next to profiling even one configuration.
+    # runtime.  The freshness digest covers the engine-sans-trace payload
+    # plus the trace fingerprint, both cheap — the trace itself is never
+    # re-serialised once its payload is cached.
     def _ensure_pool(self, engine: "ExplorationEngine") -> multiprocessing.pool.Pool:
-        payload = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha256(payload).digest()
+        engine_payload, trace_key, trace_payload = self._engine_payloads(engine)
+        digest = hashlib.sha256(
+            engine_payload + repr(trace_key).encode()
+        ).digest()
         if self._pool is None or self._pool_state_digest != digest:
             self.close()
+            # Pre-populate the process-level cache so fork-started workers
+            # inherit the trace instead of deserialising it.  Cache an
+            # immutable snapshot wrapped around the compiled form — never
+            # the live trace object: a caller could mutate that in place
+            # later, and a stale cache entry under a content-keyed
+            # fingerprint would hand workers the wrong events.
+            if _WORKER_TRACE_CACHE.get(trace_key) is None:
+                _cache_trace(
+                    trace_key, AllocationTrace.from_compiled(engine.trace.compiled())
+                )
             context = multiprocessing.get_context(self.start_method)
             self._pool = context.Pool(
                 processes=self.jobs,
                 initializer=_pool_worker_init,
-                initargs=(payload,),
+                initargs=(engine_payload, trace_key, trace_payload),
             )
             self._pool_state_digest = digest
         return self._pool
@@ -371,6 +448,9 @@ class ExplorationEngine:
         self.store_hits = 0
         self.store_misses = 0
         self._fingerprint: str | None = None
+        # Prefix traces used by predict_point, keyed by event count, so
+        # pruning does not recompile the same prefix for every candidate.
+        self._prefix_traces: dict[int, AllocationTrace] = {}
 
     # Worker processes receive a pickled copy of the engine; the progress
     # callback may be a closure (unpicklable) and is meaningless off-process,
@@ -383,6 +463,7 @@ class ExplorationEngine:
         state["backend"] = None
         state["store"] = None
         state["_point_cache"] = {}
+        state["_prefix_traces"] = {}
         state["cache_hits"] = 0
         state["cache_misses"] = 0
         state["store_hits"] = 0
@@ -588,7 +669,12 @@ class ExplorationEngine:
             raise ValueError(f"prediction fraction must be in (0, 1], got {fraction}")
         keys = list(metrics or self.settings.metrics)
         count = max(1, int(len(self.trace) * fraction))
-        prefix = AllocationTrace(events=self.trace.events[:count], name=self.trace.name)
+        prefix = self._prefix_traces.get(count)
+        if prefix is None:
+            prefix = AllocationTrace(
+                events=self.trace.events[:count], name=self.trace.name
+            )
+            self._prefix_traces[count] = prefix
         configuration = self.configuration_for(point)
         built = self.factory.build(configuration)
         profiler = Profiler(

@@ -1,0 +1,260 @@
+"""Columnar ("compiled") trace representation.
+
+Replaying a trace through the object-per-event representation costs one
+Python object traversal per event: an attribute load for the kind, a
+property call for ``is_alloc``, another load for the size.  Over the tens of
+thousands of events of a realistic trace, and the thousands of
+configurations of an exploration, that bookkeeping dominates the profiling
+step — the very cost the DATE'06 flow parallelises and prunes around.
+
+:class:`CompiledTrace` lowers the event stream *once* into flat parallel
+arrays (kind, size, request id, timestamp) plus a precomputed *slot* column
+that resolves every FREE to the dense index of the allocation it releases.
+The fast replay loop in :mod:`repro.profiling.profiler` then iterates plain
+``bytes``/``array`` values — no event objects, no per-event dict keyed by
+request id — and the same compact form is what
+:class:`~repro.core.exploration.ProcessPoolBackend` ships to worker
+processes (a few dozen bytes per event instead of a pickled dataclass
+graph).
+
+The compiled form intentionally drops event *tags* (they never influence
+replay); the :attr:`CompiledTrace.fingerprint` is computed from the original
+events — tags included — so store keys and provenance are unaffected.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+
+from .events import AllocationEvent, EventKind
+
+#: Value of :attr:`CompiledTrace.kinds` entries for ALLOC / FREE events.
+ALLOC_CODE = 1
+FREE_CODE = 0
+
+#: Slot value of a FREE event whose request id was never (or is no longer)
+#: live at that point of the stream — the replay loop skips such events,
+#: exactly as the legacy loop skips a free whose allocation failed.
+NO_SLOT = -1
+
+
+class CompiledTrace:
+    """Flat, immutable, cheaply picklable form of an allocation trace.
+
+    Every integer column is stored in the smallest signed ``array`` typecode
+    that fits its value range (``b``/``h``/``i``/``q``), so the pickled form
+    stays a handful of bytes per event however long the trace grows.
+
+    Attributes
+    ----------
+    kinds:
+        ``bytes`` of length ``len(trace)``; ``ALLOC_CODE`` or ``FREE_CODE``
+        per event.  Iterating ``bytes`` yields plain integers, which is what
+        makes the replay loop branch cheap.
+    sizes:
+        ``array`` — requested payload bytes per event (0 for frees).
+    request_ids:
+        ``array`` — the original request id per event (kept so the
+        event stream can be reconstructed; replay itself never touches it).
+    timestamps:
+        ``array`` — logical time per event.
+    slots:
+        ``array`` — for an ALLOC, a dense slot index (allocation number
+        in stream order); for a FREE, the slot of the allocation it
+        releases, or :data:`NO_SLOT`.  Slots let the replay keep live
+        addresses in a flat list instead of a per-event dict.
+    slot_sizes:
+        ``array`` — requested payload bytes per *slot*, so a FREE can
+        recover the size of the allocation it releases without touching the
+        block object.
+    slot_count:
+        Number of ALLOC events (size of the slot table).
+    has_live_rebinding:
+        True when some ALLOC re-uses a request id that is still live at
+        that point of the stream (a malformed trace that ``validate()``
+        rejects but replay tolerates).  Static slot resolution cannot
+        express the legacy loop's behaviour for such streams — it rebinds
+        the id only when the allocation *succeeds* at runtime — so the
+        profiler falls back to the event loop when this flag is set.
+    name / fingerprint:
+        Identity of the source trace; the fingerprint is the trace's
+        content hash over the *original* events (tags included).
+    """
+
+    __slots__ = (
+        "kinds",
+        "sizes",
+        "request_ids",
+        "timestamps",
+        "slots",
+        "slot_sizes",
+        "slot_count",
+        "has_live_rebinding",
+        "name",
+        "fingerprint",
+    )
+
+    def __init__(
+        self,
+        kinds: bytes,
+        sizes: array,
+        request_ids: array,
+        timestamps: array,
+        slots: array,
+        slot_sizes: array,
+        slot_count: int,
+        has_live_rebinding: bool = False,
+        name: str = "trace",
+        fingerprint: str = "",
+    ) -> None:
+        self.kinds = kinds
+        self.sizes = sizes
+        self.request_ids = request_ids
+        self.timestamps = timestamps
+        self.slots = slots
+        self.slot_sizes = slot_sizes
+        self.slot_count = slot_count
+        self.has_live_rebinding = has_live_rebinding
+        self.name = name
+        self.fingerprint = fingerprint
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    # ``__slots__`` classes have no instance dict; spell the pickle protocol
+    # out so the compiled form round-trips on every protocol version.
+    def __getstate__(self) -> tuple:
+        return (
+            self.kinds,
+            self.sizes,
+            self.request_ids,
+            self.timestamps,
+            self.slots,
+            self.slot_sizes,
+            self.slot_count,
+            self.has_live_rebinding,
+            self.name,
+            self.fingerprint,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.kinds,
+            self.sizes,
+            self.request_ids,
+            self.timestamps,
+            self.slots,
+            self.slot_sizes,
+            self.slot_count,
+            self.has_live_rebinding,
+            self.name,
+            self.fingerprint,
+        ) = state
+
+    def __reduce__(self) -> tuple:
+        return (_rebuild_compiled, (self.__getstate__(),))
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the columnar data, in bytes."""
+        return (
+            len(self.kinds)
+            + self.sizes.itemsize * len(self.sizes)
+            + self.request_ids.itemsize * len(self.request_ids)
+            + self.timestamps.itemsize * len(self.timestamps)
+            + self.slots.itemsize * len(self.slots)
+            + self.slot_sizes.itemsize * len(self.slot_sizes)
+        )
+
+    def events(self) -> list[AllocationEvent]:
+        """Reconstruct the event objects (tags are not preserved)."""
+        out: list[AllocationEvent] = []
+        append = out.append
+        request_ids = self.request_ids
+        sizes = self.sizes
+        timestamps = self.timestamps
+        for index, kind in enumerate(self.kinds):
+            if kind:
+                append(
+                    AllocationEvent(
+                        EventKind.ALLOC,
+                        request_ids[index],
+                        sizes[index],
+                        timestamps[index],
+                    )
+                )
+            else:
+                append(
+                    AllocationEvent(
+                        EventKind.FREE, request_ids[index], 0, timestamps[index]
+                    )
+                )
+        return out
+
+
+def _rebuild_compiled(state: tuple) -> CompiledTrace:
+    compiled = CompiledTrace.__new__(CompiledTrace)
+    compiled.__setstate__(state)
+    return compiled
+
+
+def _pack(values: list[int]) -> array:
+    """Store ``values`` in the smallest signed typecode that fits them."""
+    lo = min(values, default=0)
+    hi = max(values, default=0)
+    for typecode in ("b", "h", "i", "q"):
+        bound = 1 << (8 * array(typecode).itemsize - 1)
+        if -bound <= lo and hi < bound:
+            return array(typecode, values)
+    return array("q", values)  # pragma: no cover - values exceed 64 bits
+
+
+def compile_trace(
+    events: Sequence[AllocationEvent], name: str = "trace", fingerprint: str = ""
+) -> CompiledTrace:
+    """Lower an event stream into its columnar form (one pass).
+
+    Slot resolution mirrors the legacy replay loop's ``dict`` bookkeeping
+    exactly: every ALLOC claims a fresh slot (re-allocating an id moves the
+    id to the new slot, as a dict overwrite would); a FREE consumes the
+    current slot of its id, so a second FREE of the same id resolves to
+    :data:`NO_SLOT` and is skipped by the replay.
+    """
+    count = len(events)
+    kinds = bytearray(count)
+    sizes = [0] * count
+    request_ids = [0] * count
+    timestamps = [0] * count
+    slots = [0] * count
+    slot_of: dict[int, int] = {}
+    slot_sizes: list[int] = []
+    slot_count = 0
+    has_live_rebinding = False
+    for index, event in enumerate(events):
+        request_id = event.request_id
+        request_ids[index] = request_id
+        timestamps[index] = event.timestamp
+        if event.kind is EventKind.ALLOC:
+            kinds[index] = ALLOC_CODE
+            size = event.size
+            sizes[index] = size
+            slots[index] = slot_count
+            slot_sizes.append(size)
+            if request_id in slot_of:
+                has_live_rebinding = True
+            slot_of[request_id] = slot_count
+            slot_count += 1
+        else:
+            slots[index] = slot_of.pop(request_id, NO_SLOT)
+    return CompiledTrace(
+        kinds=bytes(kinds),
+        sizes=_pack(sizes),
+        request_ids=_pack(request_ids),
+        timestamps=_pack(timestamps),
+        slots=_pack(slots),
+        slot_sizes=_pack(slot_sizes),
+        slot_count=slot_count,
+        has_live_rebinding=has_live_rebinding,
+        name=name,
+        fingerprint=fingerprint,
+    )

@@ -12,17 +12,35 @@ accesses per allocated byte, charged to the level the owning pool lives on):
 data placed in the scratchpad is not only cheaper to manage but also cheaper
 to use, which is what makes the pool-mapping parameter matter for energy,
 exactly as in the paper's methodology.
+
+Two replay implementations produce byte-identical results:
+
+* the **fast path** (:meth:`Profiler._replay_compiled`, the default)
+  iterates the trace's columnar :class:`~repro.profiling.compiled
+  .CompiledTrace` form — no event objects, live addresses in a flat slot
+  table, the composed allocator's size→pool routing table instead of
+  per-event ``accepts()`` scans, and an inline kernel for dedicated
+  fixed-size pools whose :class:`~repro.allocator.stats.PoolStats` counter
+  updates are batched into local integers and flushed once per run;
+* the **legacy path** (:meth:`Profiler._replay_events`, selected with
+  ``ProfilerOptions(fast_replay=False)``) walks the event objects and calls
+  ``malloc``/``free`` per event.  It is the executable specification the
+  fast path is tested against (see ``tests/test_fast_replay.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..allocator.blocks import Block, BlockStatus
 from ..allocator.composed import ComposedAllocator
 from ..allocator.errors import OutOfMemoryError
+from ..allocator.freelist import LIFOFreeList
+from ..allocator.pool import FixedSizePool
 from ..memhier.access import breakdown_accesses, footprint_by_level
 from ..memhier.energy import EnergyModel
 from ..memhier.mapping import PoolMapping
+from .compiled import CompiledTrace
 from .metrics import MetricSet, ProfileResult
 from .tracer import AllocationTrace
 
@@ -38,6 +56,10 @@ class ProfilerOptions:
     payload_access_factor: float = DEFAULT_PAYLOAD_ACCESS_FACTOR
     fail_on_oom: bool = False
     track_footprint_timeline: bool = False
+    #: Replay over the compiled (columnar) trace form.  The fast path is
+    #: byte-identical to the legacy event loop on every metric; disable it
+    #: only to measure or to cross-check (the identity tests do).
+    fast_replay: bool = True
 
 
 class Profiler:
@@ -60,6 +82,37 @@ class Profiler:
         configuration_id: str = "",
     ) -> ProfileResult:
         """Profile ``allocator`` over ``trace`` and return the metrics."""
+        # The fast path manipulates ComposedAllocator internals (owner map,
+        # dispatch counter); a subclass could redefine those, so only the
+        # exact type takes it.  Malformed streams that re-allocate a live
+        # request id (see CompiledTrace.has_live_rebinding) cannot be
+        # resolved statically and take the event loop too.
+        compiled = (
+            trace.compiled()
+            if self.options.fast_replay and type(allocator) is ComposedAllocator
+            else None
+        )
+        if compiled is not None and not compiled.has_live_rebinding:
+            replay = self._replay_compiled(allocator, compiled)
+        else:
+            replay = self._replay_events(allocator, trace)
+        payload_accesses_by_pool, oom_failures, footprint_timeline = replay
+
+        result = self._collect(allocator, trace, configuration_id, payload_accesses_by_pool)
+        result.per_pool["__profile__"] = {
+            "oom_failures": oom_failures,
+            "footprint_timeline_points": len(footprint_timeline),
+        }
+        if self.options.track_footprint_timeline:
+            result.per_pool["__timeline__"] = footprint_timeline
+        return result
+
+    # -- replay: legacy event loop ----------------------------------------
+
+    def _replay_events(
+        self, allocator: ComposedAllocator, trace: AllocationTrace
+    ) -> tuple[dict[str, float], int, list[tuple[int, int]]]:
+        """Replay the event objects one by one (the reference semantics)."""
         address_of: dict[int, int] = {}
         payload_accesses_by_pool: dict[str, float] = {}
         oom_failures = 0
@@ -91,15 +144,296 @@ class Profiler:
                 footprint_timeline.append(
                     (event.timestamp, allocator.total_footprint)
                 )
+        return payload_accesses_by_pool, oom_failures, footprint_timeline
 
-        result = self._collect(allocator, trace, configuration_id, payload_accesses_by_pool)
-        result.per_pool["__profile__"] = {
-            "oom_failures": oom_failures,
-            "footprint_timeline_points": len(footprint_timeline),
+    # -- replay: compiled fast path ----------------------------------------
+
+    def _replay_compiled(
+        self, allocator: ComposedAllocator, compiled: CompiledTrace
+    ) -> tuple[dict[str, float], int, list[tuple[int, int]]]:
+        """Replay the columnar trace form; byte-identical to the event loop.
+
+        Per event the loop touches flat arrays and local names only: the
+        kind byte, the size column, the precomputed slot of the matching
+        allocation (instead of a request-id dict), the allocator's memoised
+        size→pool route, and — for dedicated fixed-size pools, the paper's
+        hot-size pools — an inlined allocate/free kernel whose PoolStats
+        counter updates accumulate in local integers that are flushed onto
+        the stats objects once, after the loop.
+        """
+        options = self.options
+        factor = options.payload_access_factor
+        fail_on_oom = options.fail_on_oom
+        track_timeline = options.track_footprint_timeline
+
+        kinds = compiled.kinds
+        sizes = compiled.sizes
+        slots = compiled.slots
+        timestamps = compiled.timestamps
+
+        slot_sizes = compiled.slot_sizes
+
+        pools = allocator.pools
+        pool_count = len(pools)
+        position_of = {pool: index for index, pool in enumerate(pools)}
+        owner_of = allocator._owner_of
+
+        # Inline-kernel state per pool position.  A pool is kernel-eligible
+        # when it is an exact FixedSizePool with the stock LIFO free list
+        # and no pre-existing blocks (what the factory hands out): the
+        # kernel then tracks its free list as a plain stack of *addresses*
+        # and rebuilds the Block-level pool state once, at flush time —
+        # every fixed-pool block has the pool's gross size, so the block
+        # objects carry no information the flush cannot reconstruct.
+        int_stacks: list[list | None] = [None] * pool_count
+        lists_: list[LIFOFreeList | None] = [None] * pool_count
+        stats_of = [pool.stats for pool in pools]
+        live_of = [pool._live for pool in pools]
+        freed_of = [pool._freed_addresses for pool in pools]
+        freed_bounded = [pool._freed_order is not None for pool in pools]
+        gross_of = [getattr(pool, "gross_size", 0) for pool in pools]
+        spaces = [pool.space for pool in pools]
+        carve_pushed = [False] * pool_count
+        for index, pool in enumerate(pools):
+            if (
+                type(pool) is FixedSizePool
+                and type(pool.free_list) is LIFOFreeList
+                and not pool.free_list._blocks
+                and not pool._live
+            ):
+                int_stacks[index] = []
+                lists_[index] = pool.free_list
+
+        # Batched PoolStats deltas: a warm kernel allocate always charges
+        # 1 read + 2 writes + 1 visit and a kernel free 1 read + 1 write,
+        # so two counters per pool capture everything and the flush derives
+        # the reads/writes/visits/ops/live deltas once per run.  Peaked
+        # quantities (live_payload/peak_live_payload, footprint) are NOT
+        # batched: they are order-sensitive, so the kernel updates them on
+        # the stats object in event order like every other path does.
+        warm_allocs = [0] * pool_count
+        warm_frees = [0] * pool_count
+
+        # Payload-access accumulation in first-allocation order, exactly the
+        # insertion order the legacy dict would have.
+        payload_totals = [0.0] * pool_count
+        payload_touched = [False] * pool_count
+        payload_order: list[int] = []
+
+        # size -> (route entries, position of a kernel-backed first pool or
+        # -1).  Entries pair each routed pool with its position so the slow
+        # path can run the kernel for fixed pools at *any* route position
+        # (capacity spills may reach a second dedicated pool).
+        plans: dict[int, tuple[tuple, int]] = {}
+        routed_pools = allocator.routed_pools
+
+        # Per-slot live address and owning-pool position.  The owner map of
+        # the allocator is reconciled once at flush time (surviving slots in
+        # allocation order — the exact content and order the per-event dict
+        # maintenance would leave behind).
+        addresses: list[int | None] = [None] * compiled.slot_count
+        owners = bytearray(compiled.slot_count) if pool_count <= 255 else None
+        if owners is None:  # pragma: no cover - absurd pool count
+            owners = [0] * compiled.slot_count
+        oom_failures = 0
+        footprint_timeline: list[tuple[int, int]] = []
+        dispatch = 0
+
+        def allocate_slow(size: int, entries: tuple) -> tuple:
+            """Route ``size`` through the plan's pools, kernels included.
+
+            Handles everything the warm inline path does not: cold kernel
+            pools (grow + carve, on integer addresses), non-kernel pools
+            (their own ``allocate``), and capacity spills along the route.
+            Returns ``(address, position, last_oom)`` with ``address`` None
+            when every pool refused.
+            """
+            last_oom = None
+            for pool, position in entries:
+                stack = int_stacks[position]
+                if stack is None:
+                    try:
+                        return pool.allocate(size), position, None
+                    except OutOfMemoryError as exc:
+                        last_oom = exc
+                        continue
+                stats = stats_of[position]
+                if stack:
+                    # Warm kernel allocate reached through a spill.
+                    address = stack.pop()
+                    warm_allocs[position] += 1
+                else:
+                    # Cold kernel allocate: grow the backing store and
+                    # carve it (inlined FixedSizePool cold path — direct
+                    # stats updates, they commute with the batched ones).
+                    gross = gross_of[position]
+                    try:
+                        grown = spaces[position].grow(gross)
+                    except OutOfMemoryError as exc:
+                        stats.failed_allocs += 1
+                        last_oom = exc
+                        continue
+                    footprint = stats.footprint + grown.size
+                    stats.footprint = footprint
+                    if footprint > stats.peak_footprint:
+                        stats.peak_footprint = footprint
+                    count = grown.size // gross
+                    address = grown.start
+                    if count > 1:
+                        stack.extend(
+                            range(address + gross, address + count * gross, gross)
+                        )
+                        carve_pushed[position] = True
+                    stats.accesses.writes += count + 1
+                    stats.alloc_ops += 1
+                    stats.live_blocks += 1
+                    stats.live_gross += gross
+                live_payload = stats.live_payload + size
+                stats.live_payload = live_payload
+                if live_payload > stats.peak_live_payload:
+                    stats.peak_live_payload = live_payload
+                freed_of[position].discard(address)
+                return address, position, None
+            return None, -1, last_oom
+
+        try:
+            for index, kind in enumerate(kinds):
+                if kind:
+                    size = sizes[index]
+                    plan = plans.get(size)
+                    if plan is None:
+                        route = routed_pools(size)
+                        entries = tuple(
+                            (pool, position_of[pool]) for pool in route
+                        )
+                        first = entries[0][1] if entries else -1
+                        if first >= 0 and int_stacks[first] is None:
+                            first = -1
+                        plan = (entries, first)
+                        plans[size] = plan
+                    entries, first = plan
+                    dispatch += 1
+                    if first >= 0:
+                        stack = int_stacks[first]
+                        if stack:
+                            # Inline FixedSizePool allocate, warm path: pop
+                            # the newest free address, charge one read + two
+                            # writes (head follow, head update, header) —
+                            # batched into warm_allocs.
+                            address = stack.pop()
+                            warm_allocs[first] += 1
+                            stats = stats_of[first]
+                            live_payload = stats.live_payload + size
+                            stats.live_payload = live_payload
+                            if live_payload > stats.peak_live_payload:
+                                stats.peak_live_payload = live_payload
+                            freed_of[first].discard(address)
+                            slot = slots[index]
+                            addresses[slot] = address
+                            owners[slot] = first
+                            payload_totals[first] += size * factor
+                            if not payload_touched[first]:
+                                payload_touched[first] = True
+                                payload_order.append(first)
+                            if track_timeline:
+                                footprint_timeline.append(
+                                    (timestamps[index], allocator.total_footprint)
+                                )
+                            continue
+                    address, position, last_oom = allocate_slow(size, entries)
+                    if address is None:
+                        oom_failures += 1
+                        if fail_on_oom:
+                            if last_oom is not None:
+                                raise last_oom
+                            raise OutOfMemoryError(size, pool=allocator.name)
+                        continue
+                    slot = slots[index]
+                    addresses[slot] = address
+                    owners[slot] = position
+                    payload_totals[position] += size * factor
+                    if not payload_touched[position]:
+                        payload_touched[position] = True
+                        payload_order.append(position)
+                else:
+                    slot = slots[index]
+                    address = addresses[slot] if slot >= 0 else None
+                    if address is None:
+                        # Never-allocated id, double free in the trace, or
+                        # the matching allocation failed (OOM): skipped.
+                        continue
+                    addresses[slot] = None
+                    dispatch += 1
+                    position = owners[slot]
+                    stack = int_stacks[position]
+                    if stack is not None:
+                        # Inline FixedSizePool free: header read + free-list
+                        # link write (batched into warm_frees), push the
+                        # address back on the stack.
+                        if freed_bounded[position]:
+                            pools[position]._note_freed(address)
+                        else:
+                            freed_of[position].add(address)
+                        warm_frees[position] += 1
+                        stats_of[position].live_payload -= slot_sizes[slot]
+                        stack.append(address)
+                    else:
+                        pools[position].free(address)
+                if track_timeline:
+                    footprint_timeline.append(
+                        (timestamps[index], allocator.total_footprint)
+                    )
+        finally:
+            allocator._dispatch_accesses += dispatch
+            for position in range(pool_count):
+                allocs = warm_allocs[position]
+                frees = warm_frees[position]
+                if allocs or frees:
+                    stats = stats_of[position]
+                    accesses = stats.accesses
+                    accesses.reads += allocs + frees
+                    accesses.writes += 2 * allocs + frees
+                    stats.free_list_visits += allocs
+                    stats.alloc_ops += allocs
+                    stats.free_ops += frees
+                    stats.live_blocks += allocs - frees
+                    stats.live_gross += (allocs - frees) * gross_of[position]
+                stack = int_stacks[position]
+                if stack is None:
+                    continue
+                # Rebuild the Block-level free list the legacy path would
+                # have left behind (same order, same field values).
+                if stack:
+                    gross = gross_of[position]
+                    name = pools[position].name
+                    lists_[position]._blocks += [
+                        Block(address, gross, pool_name=name) for address in stack
+                    ]
+                if frees or carve_pushed[position]:
+                    # The legacy push() records its single-node visit.
+                    lists_[position].last_insertion_visits = 1
+            # Reconcile the owner map and the kernel pools' live tables:
+            # surviving (leaked) allocations, in allocation order — exactly
+            # what per-event maintenance leaves behind.
+            for slot, address in enumerate(addresses):
+                if address is not None:
+                    position = owners[slot]
+                    pool = pools[position]
+                    owner_of[address] = pool
+                    if int_stacks[position] is not None:
+                        live_of[position][address] = Block(
+                            address,
+                            gross_of[position],
+                            BlockStatus.ALLOCATED,
+                            slot_sizes[slot],
+                            pool.name,
+                        )
+
+        payload_accesses_by_pool = {
+            pools[position].name: payload_totals[position]
+            for position in payload_order
         }
-        if self.options.track_footprint_timeline:
-            result.per_pool["__timeline__"] = footprint_timeline
-        return result
+        return payload_accesses_by_pool, oom_failures, footprint_timeline
 
     def _collect(
         self,
@@ -131,7 +465,10 @@ class Profiler:
             configuration_id=configuration_id or allocator.name,
             trace_name=trace.name,
         )
-        operation_count = sum(1 for _ in trace)
+        # The trace knows its length (the compiled form even without
+        # materialised events); re-iterating every event just to count them
+        # was a measurable slice of short-trace profiling.
+        operation_count = len(trace)
         result.operation_count = operation_count
         result.leaked_blocks = allocator.live_blocks
 

@@ -4,6 +4,20 @@
 :class:`~repro.profiling.events.AllocationEvent` with the consistency checks
 and summary statistics the exploration relies on (well-formedness, live-byte
 profile, size histogram, hot sizes).
+
+Because the same trace is replayed once per explored configuration, the
+trace also owns two derived-once caches:
+
+* :meth:`AllocationTrace.fingerprint` — the content hash keying the result
+  store and artefact provenance;
+* :meth:`AllocationTrace.compiled` — the columnar
+  :class:`~repro.profiling.compiled.CompiledTrace` the fast replay loop and
+  the process-pool backend consume.
+
+Both caches are invalidated by :meth:`append`/:meth:`extend` (or an
+assignment to :attr:`events`).  Mutating the ``events`` list in place
+bypasses the invalidation — call :meth:`invalidate_caches` afterwards if
+you must do that.
 """
 
 from __future__ import annotations
@@ -11,8 +25,9 @@ from __future__ import annotations
 import hashlib
 from collections import Counter
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from .compiled import CompiledTrace, compile_trace
 from .events import AllocationEvent, EventKind
 
 
@@ -50,14 +65,43 @@ class TraceSummary:
         }
 
 
-@dataclass
 class AllocationTrace:
-    """Ordered sequence of allocation events produced by one application run."""
+    """Ordered sequence of allocation events produced by one application run.
 
-    events: list[AllocationEvent] = field(default_factory=list)
-    name: str = "trace"
+    A trace can be constructed from an event list (the usual case) or from a
+    :class:`~repro.profiling.compiled.CompiledTrace` via
+    :meth:`from_compiled`; in the latter case the event objects are only
+    materialised on first access to :attr:`events` (replay and length
+    queries never need them), which is what keeps worker-process traces
+    cheap.
+    """
+
+    def __init__(
+        self, events: list[AllocationEvent] | None = None, name: str = "trace"
+    ) -> None:
+        self._events: list[AllocationEvent] | None = (
+            events if events is not None else []
+        )
+        self.name = name
+        self._compiled: CompiledTrace | None = None
+        self._fingerprint: str | None = None
+
+    @property
+    def events(self) -> list[AllocationEvent]:
+        """The event list (materialised from the compiled form on demand)."""
+        if self._events is None:
+            assert self._compiled is not None
+            self._events = self._compiled.events()
+        return self._events
+
+    @events.setter
+    def events(self, value: list[AllocationEvent]) -> None:
+        self._events = value
+        self.invalidate_caches()
 
     def __len__(self) -> int:
+        if self._events is None and self._compiled is not None:
+            return len(self._compiled)
         return len(self.events)
 
     def __iter__(self) -> Iterator[AllocationEvent]:
@@ -66,11 +110,58 @@ class AllocationTrace:
     def __getitem__(self, index: int) -> AllocationEvent:
         return self.events[index]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AllocationTrace):
+            return NotImplemented
+        return self.name == other.name and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AllocationTrace(name={self.name!r}, events=<{len(self)} events>)"
+
     def append(self, event: AllocationEvent) -> None:
         self.events.append(event)
+        self.invalidate_caches()
 
     def extend(self, events: Iterable[AllocationEvent]) -> None:
         self.events.extend(events)
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached fingerprint/compiled form after a mutation."""
+        self._compiled = None
+        self._fingerprint = None
+
+    # -- compiled (columnar) form ------------------------------------------
+
+    def compiled(self) -> CompiledTrace:
+        """The columnar form of this trace (computed once, then cached).
+
+        The compiled form is what the profiler's fast replay loop iterates
+        and what the process-pool backend ships to workers; it carries the
+        trace's :meth:`fingerprint` so a receiver can key caches without
+        rehashing the events.
+        """
+        if self._compiled is None:
+            self._compiled = compile_trace(
+                self.events, name=self.name, fingerprint=self.fingerprint()
+            )
+        return self._compiled
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledTrace) -> "AllocationTrace":
+        """Wrap a compiled trace without materialising event objects.
+
+        The returned trace replays, measures ``len`` and fingerprints
+        without ever touching :attr:`events`; accessing :attr:`events`
+        reconstructs the objects (tags are not preserved by the compiled
+        form).
+        """
+        trace = cls.__new__(cls)
+        trace._events = None
+        trace.name = compiled.name
+        trace._compiled = compiled
+        trace._fingerprint = compiled.fingerprint or None
+        return trace
 
     # -- validation --------------------------------------------------------
 
@@ -120,14 +211,19 @@ class AllocationTrace:
         that can influence profiling (kind, request id, size, timestamp and
         tag of every event, in order); it is the trace component of the
         result-store key and of result-artefact provenance.
+
+        The hash is computed once and cached; :meth:`append`/:meth:`extend`
+        invalidate it.
         """
-        digest = hashlib.sha256()
-        for event in self.events:
-            digest.update(
-                f"{event.kind.value}|{event.request_id}|{event.size}"
-                f"|{event.timestamp}|{event.tag}\n".encode()
-            )
-        return digest.hexdigest()
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for event in self.events:
+                digest.update(
+                    f"{event.kind.value}|{event.request_id}|{event.size}"
+                    f"|{event.timestamp}|{event.tag}\n".encode()
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # -- statistics -----------------------------------------------------------
 

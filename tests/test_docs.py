@@ -33,6 +33,7 @@ DOC_FILES = [
     REPO / "docs" / "architecture.md",
     REPO / "docs" / "cli.md",
     REPO / "docs" / "exploring.md",
+    REPO / "docs" / "performance.md",
 ]
 
 FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)

@@ -1,0 +1,289 @@
+"""Byte-identity of the compiled fast replay path against the legacy path.
+
+The legacy event loop (``ProfilerOptions(fast_replay=False)``) is the
+executable specification; the fast path must reproduce its
+:class:`~repro.profiling.metrics.ProfileResult` *exactly* — every counter
+of every pool, every level breakdown, every metric bit — across every
+standard parameter space, for OOM-skipping traces, for ``fail_on_oom`` and
+for the footprint-timeline mode.  The allocator object the replay leaves
+behind must match too (owner map, live tables, free lists, freed sets),
+because engines reuse and inspect it.
+"""
+
+import json
+
+import pytest
+
+from repro.core.configuration import configuration_from_point
+from repro.core.factory import AllocatorFactory
+from repro.core.space import STANDARD_SPACES
+from repro.memhier.hierarchy import embedded_two_level
+from repro.profiling.profiler import Profiler, ProfilerOptions
+from repro.workloads.easyport import EasyportWorkload
+from repro.workloads.synthetic import PhasedWorkload, UniformRandomWorkload
+from repro.workloads.vtc import VTCWorkload
+
+#: Points sampled per parameter space (each is profiled twice per mode).
+POINTS_PER_SPACE = 4
+
+WORKLOADS = {
+    "easyport": lambda: EasyportWorkload(packets=120).generate(seed=7),
+    "vtc": lambda: VTCWorkload(image_width=24, image_height=24).generate(seed=7),
+    "uniform": lambda: UniformRandomWorkload(operations=400).generate(seed=7),
+    "phased": lambda: PhasedWorkload().generate(seed=7),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def workload_trace(request):
+    return request.param, WORKLOADS[request.param]()
+
+
+def result_bytes(result):
+    return json.dumps(result.as_dict(), sort_keys=True, default=repr).encode()
+
+
+def allocator_state(allocator):
+    """Full observable allocator end state, as comparable plain data."""
+    state = {
+        "owner": sorted((a, p.name) for a, p in allocator._owner_of.items()),
+        "dispatch": allocator.dispatch_accesses,
+        "live_blocks": allocator.live_blocks,
+    }
+    for pool in allocator.pools:
+        free_list = getattr(pool, "free_list", None)
+        state[pool.name] = {
+            "live": sorted(
+                (a, b.size, b.requested_size, b.status.value, b.pool_name)
+                for a, b in pool._live.items()
+            ),
+            "freed": sorted(pool._freed_addresses),
+            "free_list": (
+                [
+                    (b.address, b.size, b.status.value, b.requested_size, b.pool_name)
+                    for b in free_list.blocks()
+                ]
+                if free_list is not None
+                else None
+            ),
+            "insertion_visits": (
+                free_list.last_insertion_visits if free_list is not None else None
+            ),
+            "stats": pool.stats.snapshot(),
+        }
+    return json.dumps(state, sort_keys=True)
+
+
+def run_both(trace, point, hierarchy=None, **option_kwargs):
+    """Profile ``point`` with the fast and the legacy path; return both."""
+    hierarchy = hierarchy or embedded_two_level()
+    factory = AllocatorFactory(hierarchy)
+    hot = trace.hot_sizes(top=8)
+    configuration = configuration_from_point(
+        point,
+        hot_sizes=hot,
+        scratchpad_module=hierarchy.fastest.name,
+        main_module=hierarchy.background_module.name,
+    )
+    outcomes = []
+    for fast in (True, False):
+        built = factory.build(configuration)
+        profiler = Profiler(
+            built.mapping,
+            options=ProfilerOptions(fast_replay=fast, **option_kwargs),
+        )
+        result = profiler.run(built.allocator, trace, "under-test")
+        outcomes.append((result, built.allocator))
+    return outcomes
+
+
+class TestByteIdentityAcrossSpaces:
+    @pytest.mark.parametrize("space_name", sorted(STANDARD_SPACES))
+    def test_fast_path_matches_legacy(self, space_name, workload_trace):
+        _name, trace = workload_trace
+        space = STANDARD_SPACES[space_name]()
+        for point in space.sample(POINTS_PER_SPACE, seed=11):
+            (fast_result, fast_alloc), (legacy_result, legacy_alloc) = run_both(
+                trace, point
+            )
+            assert result_bytes(fast_result) == result_bytes(legacy_result)
+            assert allocator_state(fast_alloc) == allocator_state(legacy_alloc)
+
+
+class TestByteIdentityUnderOOM:
+    def tiny_hierarchy(self):
+        # A scratchpad small enough that dedicated pools overflow and spill,
+        # and a bounded main memory so even the fallback eventually OOMs.
+        return embedded_two_level(scratchpad_size=2048, main_size=16384)
+
+    def oom_point(self, space_name="default"):
+        space = STANDARD_SPACES[space_name]()
+        return space.sample(6, seed=2)
+
+    def test_oom_skip_identical(self, workload_trace):
+        _name, trace = workload_trace
+        hierarchy = self.tiny_hierarchy()
+        saw_oom = False
+        for point in self.oom_point():
+            (fast_result, fast_alloc), (legacy_result, legacy_alloc) = run_both(
+                trace, point, hierarchy=hierarchy
+            )
+            assert result_bytes(fast_result) == result_bytes(legacy_result)
+            assert allocator_state(fast_alloc) == allocator_state(legacy_alloc)
+            oom = fast_result.per_pool["__profile__"]["oom_failures"]
+            saw_oom = saw_oom or oom > 0
+        assert saw_oom, "OOM scenario never triggered; shrink the hierarchy"
+
+    def test_fail_on_oom_raises_identically(self):
+        trace = EasyportWorkload(packets=400).generate(seed=7)
+        hierarchy = embedded_two_level(scratchpad_size=1024, main_size=8192)
+        point = self.oom_point()[0]
+        errors = []
+        for fast in (True, False):
+            factory = AllocatorFactory(hierarchy)
+            configuration = configuration_from_point(
+                point,
+                hot_sizes=trace.hot_sizes(top=8),
+                scratchpad_module=hierarchy.fastest.name,
+                main_module=hierarchy.background_module.name,
+            )
+            built = factory.build(configuration)
+            profiler = Profiler(
+                built.mapping,
+                options=ProfilerOptions(fast_replay=fast, fail_on_oom=True),
+            )
+            with pytest.raises(Exception) as excinfo:
+                profiler.run(built.allocator, trace, "oom")
+            errors.append((type(excinfo.value).__name__, str(excinfo.value)))
+        assert errors[0] == errors[1]
+
+
+class TestByteIdentityTimeline:
+    def test_footprint_timeline_identical(self, workload_trace):
+        _name, trace = workload_trace
+        space = STANDARD_SPACES["smoke"]()
+        for point in space.sample(2, seed=5):
+            (fast_result, _), (legacy_result, _) = run_both(
+                trace, point, track_footprint_timeline=True
+            )
+            assert (
+                fast_result.per_pool["__timeline__"]
+                == legacy_result.per_pool["__timeline__"]
+            )
+            assert result_bytes(fast_result) == result_bytes(legacy_result)
+
+
+class TestCollectUsesCachedLength:
+    def test_operation_count_does_not_reiterate(self):
+        trace = EasyportWorkload(packets=40).generate(seed=1)
+
+        class CountingTrace(type(trace)):
+            iterations = 0
+
+            def __iter__(self):
+                CountingTrace.iterations += 1
+                return super().__iter__()
+
+        counting = CountingTrace(events=trace.events, name=trace.name)
+        point = STANDARD_SPACES["smoke"]().sample(1, seed=0)[0]
+        hierarchy = embedded_two_level()
+        factory = AllocatorFactory(hierarchy)
+        configuration = configuration_from_point(
+            point,
+            hot_sizes=counting.hot_sizes(top=4),
+            scratchpad_module=hierarchy.fastest.name,
+            main_module=hierarchy.background_module.name,
+        )
+        built = factory.build(configuration)
+        profiler = Profiler(
+            built.mapping, options=ProfilerOptions(fast_replay=False)
+        )
+        CountingTrace.iterations = 0
+        result = profiler.run(built.allocator, counting, "count")
+        # One pass for the replay itself; _collect must not re-iterate.
+        assert CountingTrace.iterations == 1
+        assert result.operation_count == len(counting)
+
+    def test_fast_path_never_iterates_events(self):
+        trace = EasyportWorkload(packets=40).generate(seed=1)
+        compiled = trace.compiled()
+        from repro.profiling.tracer import AllocationTrace
+
+        lazy = AllocationTrace.from_compiled(compiled)
+        point = STANDARD_SPACES["smoke"]().sample(1, seed=0)[0]
+        hierarchy = embedded_two_level()
+        factory = AllocatorFactory(hierarchy)
+        configuration = configuration_from_point(
+            point,
+            hot_sizes=trace.hot_sizes(top=4),
+            scratchpad_module=hierarchy.fastest.name,
+            main_module=hierarchy.background_module.name,
+        )
+        built = factory.build(configuration)
+        result = Profiler(built.mapping).run(built.allocator, lazy, "lazy")
+        assert lazy._events is None  # replay + collect stayed columnar
+        assert result.operation_count == len(trace)
+
+
+class TestLiveRebindingFallback:
+    """Malformed streams that re-allocate a live id take the event loop.
+
+    Static slot resolution cannot express the legacy semantics for such
+    streams (the legacy loop rebinds the id only when the allocation
+    succeeds at runtime), so the compiled form flags them and the profiler
+    falls back — keeping byte-identity even for traces validate() rejects.
+    """
+
+    def malformed_setup(self):
+        from repro.allocator.composed import ComposedAllocator
+        from repro.allocator.pool import FixedSizePool
+        from repro.memhier.mapping import PoolMapping
+        from repro.profiling.events import alloc, free
+        from repro.profiling.tracer import AllocationTrace
+
+        hierarchy = embedded_two_level()
+        mapping = PoolMapping(hierarchy)
+        mapping.place_pool("fixed", "main_memory", reserved_bytes=128)
+        pool = FixedSizePool(
+            "fixed",
+            block_size=64,
+            address_space=mapping.address_space_for("fixed"),
+            chunk_blocks=1,
+        )
+        allocator = ComposedAllocator([pool])
+        # id 1 is re-allocated while live; the second allocation OOMs (the
+        # 128-byte reservation fits one 72-byte gross block only), so the
+        # legacy loop keeps the first binding and the FREE releases it.
+        trace = AllocationTrace(
+            [alloc(1, 64, 0), alloc(1, 64, 1), free(1, 2), alloc(2, 64, 3)],
+            name="malformed",
+        )
+        return allocator, mapping, trace
+
+    def test_flag_set_on_live_rebinding(self):
+        _allocator, _mapping, trace = self.malformed_setup()
+        assert trace.compiled().has_live_rebinding
+
+    def test_flag_clear_on_wellformed_reuse(self):
+        from repro.profiling.events import alloc, free
+        from repro.profiling.tracer import AllocationTrace
+
+        trace = AllocationTrace(
+            [alloc(1, 8, 0), free(1, 1), alloc(1, 8, 2), free(1, 3)]
+        )
+        assert not trace.compiled().has_live_rebinding
+
+    def test_malformed_stream_byte_identical(self):
+        results = []
+        for fast in (True, False):
+            allocator, mapping, trace = self.malformed_setup()
+            profiler = Profiler(
+                mapping, options=ProfilerOptions(fast_replay=fast)
+            )
+            results.append(profiler.run(allocator, trace, "malformed"))
+        assert result_bytes(results[0]) == result_bytes(results[1])
+        # The legacy semantics: one OOM, two successful allocs, one free.
+        profile = results[0].per_pool["__profile__"]
+        assert profile["oom_failures"] == 1
+        assert results[0].per_pool["fixed"]["alloc_ops"] == 2
+        assert results[0].per_pool["fixed"]["free_ops"] == 1

@@ -319,3 +319,102 @@ class TestSeedDeterminismAcrossStrategies:
             interleaved.append(first._random_point())
             second._random_point()
         assert interleaved == alone_points
+
+
+class TestWorkerPayloads:
+    """The process-pool backend must ship O(points) per chunk, not O(trace).
+
+    The engine state travels once per worker through the pool initializer,
+    split into an engine-sans-trace payload (flat in the trace size) and a
+    compiled columnar trace payload (a few bytes per event, serialised once
+    and reused across pool restarts).  Chunk items stay (point, label)
+    tuples whatever the workload.
+    """
+
+    def engine_for(self, packets):
+        trace = EasyportWorkload(packets=packets).generate(seed=5)
+        return ExplorationEngine(smoke_parameter_space(), trace)
+
+    def test_engine_payload_flat_in_trace_size(self):
+        import pickle
+
+        backend = ProcessPoolBackend(jobs=2)
+        small = self.engine_for(50)
+        big = self.engine_for(2000)
+        small_payload, _, small_trace_payload = backend._engine_payloads(small)
+        big_payload, _, big_trace_payload = backend._engine_payloads(big)
+        assert len(big.trace) > 10 * len(small.trace)
+        # Engine payload no longer embeds the events: growing the trace by
+        # an order of magnitude must not move it by more than a few hundred
+        # bytes (hot sizes/fingerprint strings may differ slightly).
+        assert abs(len(big_payload) - len(small_payload)) < 512
+        # The trace ships in columnar form: small per-event cost, and far
+        # below the event-object pickle the initializer used to receive.
+        event_payload = pickle.dumps(
+            big.trace.events, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        assert len(big_trace_payload) < len(event_payload) / 2
+        assert len(small_trace_payload) < len(event_payload)
+
+    def test_chunk_items_are_o_points(self):
+        import pickle
+
+        engine = self.engine_for(2000)
+        items = [
+            (point, f"cfg{index:05d}")
+            for index, point in enumerate(engine.space.points())
+        ]
+        chunk_payload = pickle.dumps(items[:4], protocol=pickle.HIGHEST_PROTOCOL)
+        # Four points must cost well under a kilobyte — nothing trace-sized
+        # rides along with a chunk.
+        assert len(chunk_payload) < 1024
+
+    def test_trace_payload_cached_across_pool_restarts(self):
+        backend = ProcessPoolBackend(jobs=2)
+        engine = self.engine_for(200)
+        _, key_a, payload_a = backend._engine_payloads(engine)
+        _, key_b, payload_b = backend._engine_payloads(engine)
+        assert key_a == key_b
+        assert payload_a is payload_b  # serialised exactly once
+
+    def test_worker_reconstructs_equivalent_records(self, small_trace, pool_backend):
+        """End-to-end: records computed in workers match in-process ones."""
+        serial = ExplorationEngine(smoke_parameter_space(), small_trace)
+        parallel = ExplorationEngine(
+            smoke_parameter_space(), small_trace, backend=pool_backend
+        )
+        items = [
+            (point, f"cfg{index:05d}")
+            for index, point in enumerate(smoke_parameter_space().points())
+        ][:6]
+        assert [record.metrics for record in serial.evaluate_points(items)] == [
+            record.metrics for record in parallel.evaluate_points(items)
+        ]
+
+    def test_parent_trace_cache_immune_to_mutation(self):
+        """The pre-populated worker cache must hold a snapshot, not the live trace.
+
+        Mutating the original trace after a pool was created must not leak
+        the mutated events to a later engine whose (regenerated) trace has
+        the same content fingerprint.
+        """
+        from repro.core import exploration as exploration_module
+        from repro.profiling.events import alloc
+
+        trace = EasyportWorkload(packets=30).generate(seed=5)
+        engine = ExplorationEngine(smoke_parameter_space(), trace)
+        backend = ProcessPoolBackend(jobs=2)
+        try:
+            payloads = backend._engine_payloads(engine)
+            key = payloads[1]
+            exploration_module._WORKER_TRACE_CACHE.pop(key, None)
+            pool = backend._ensure_pool(engine)
+            assert pool is not None
+            cached = exploration_module._WORKER_TRACE_CACHE[key]
+            assert cached is not trace
+            events_before = len(cached)
+            trace.append(alloc(10**6, 64, 10**6))  # mutate the live trace
+            assert len(exploration_module._WORKER_TRACE_CACHE[key]) == events_before
+        finally:
+            backend.close()
+            exploration_module._WORKER_TRACE_CACHE.pop(key, None)
