@@ -11,15 +11,22 @@ across the three generations that exist in this repository:
 * **legacy** — the current event-object loop
   (``ProfilerOptions(fast_replay=False)``), which already benefits from the
   allocator-level rewrites (routing table, O(1) LIFO, inlined counters);
-* **fast** — the compiled columnar replay (the default).
+* **fast** — the compiled columnar replay (the default);
+* **batched** — the batch replay engine
+  (:class:`repro.profiling.batch.BatchReplayEngine`), which amortises one
+  trace sweep across every configuration of an exhaustive sweep by sharing
+  pool-group simulations.
 
-All three must produce byte-identical metrics; the headline target is
-**fast ≥ 5× seed** on the replay microbenchmark.  Results are written to
-``BENCH_eval.json`` in the repository root — the baseline future
-performance PRs are measured against.
+All generations must produce byte-identical metrics; the headline targets
+are **fast ≥ 5× seed** on the replay microbenchmark and **batched ≥ 10×
+single fast** per point on the exhaustive compact-space sweep.  Results are
+written to ``BENCH_eval.json`` in the repository root — the baseline future
+performance PRs are measured against; the CI bench-smoke job asserts the
+``batched.identical_metrics`` flag and uploads the file as an artifact.
 
-Sizing: 30 000 Easyport packets in dedicated benchmark runs
-(``--benchmark-only``), 12 000 in plain test / CI-smoke runs.
+Sizing: 30 000 Easyport packets (8 000 for the sweep) in dedicated
+benchmark runs (``--benchmark-only``), 12 000 (2 000) in plain test /
+CI-smoke runs.
 
 Run with ``pytest benchmarks/test_eval_speed.py --benchmark-only -s``.
 """
@@ -27,6 +34,7 @@ Run with ``pytest benchmarks/test_eval_speed.py --benchmark-only -s``.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -39,8 +47,9 @@ from repro.core.exploration import (
     SerialBackend,
 )
 from repro.core.factory import AllocatorFactory
-from repro.core.space import smoke_parameter_space
+from repro.core.space import compact_parameter_space, smoke_parameter_space
 from repro.memhier.hierarchy import embedded_two_level
+from repro.profiling.batch import BatchReplayEngine
 from repro.profiling.profiler import Profiler, ProfilerOptions
 from repro.workloads.easyport import EasyportWorkload
 
@@ -51,8 +60,13 @@ from .common import SEED, print_table
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_eval.json"
 
 #: The replay-loop speedup the columnar fast path must deliver over the
-#: seed implementation (the PR's acceptance target).
+#: seed implementation (the PR 5 acceptance target).
 TARGET_SPEEDUP_VS_SEED = 5.0
+
+#: The per-point speedup the batch replay engine must deliver over the
+#: single fast replay on an exhaustive standard-space sweep (the PR 6
+#: acceptance target, asserted in dedicated benchmark runs).
+TARGET_BATCHED_SPEEDUP = 10.0
 
 #: Representative configuration: dedicated fixed pools for the hot sizes in
 #: the scratchpad in front of a plain general pool — the paper's
@@ -81,7 +95,7 @@ def write_bench_json(request):
     dedicated = request.config.getoption("--benchmark-only", default=False)
     document = {
         "benchmark": "eval_speed",
-        "mode": "benchmark" if dedicated else "quick",
+        "mode": "benchmark" if dedicated else ("full" if _FULL_ENV else "quick"),
         "seed": SEED,
         **_RESULTS,
     }
@@ -89,9 +103,16 @@ def write_bench_json(request):
     print(f"\nwrote {BENCH_PATH}")
 
 
+#: ``BENCH_EVAL_FULL=1`` runs the full (dedicated-size, target-asserting)
+#: measurements inside a plain pytest run, so one ``make bench-eval-full``
+#: invocation produces a complete BENCH_eval.json — ``--benchmark-only``
+#: would skip every test that does not use the ``benchmark`` fixture.
+_FULL_ENV = bool(os.environ.get("BENCH_EVAL_FULL"))
+
+
 def _packets(request) -> int:
     dedicated = request.config.getoption("--benchmark-only", default=False)
-    return 30_000 if dedicated else 12_000
+    return 30_000 if dedicated or _FULL_ENV else 12_000
 
 
 def _configuration(trace, hierarchy):
@@ -238,20 +259,148 @@ def test_per_point_latency(request):
     assert len(records) == len(items)
 
 
+def test_batched_sweep_speedup(benchmark, request):
+    """Exhaustive compact-space sweep: batch replay engine vs single fast.
+
+    One trace, every point of the compact space.  The batch engine scores
+    the whole sweep off shared pool-group simulations; the single fast
+    replay profiles each point independently (the PR 5 state of the art).
+    Metrics must match the single fast replay on *every* point and the
+    legacy event loop on a sample — that is the ``identical_metrics`` flag
+    the CI bench-smoke job asserts.
+    """
+    dedicated = (
+        request.config.getoption("--benchmark-only", default=False) or _FULL_ENV
+    )
+    packets = 8_000 if dedicated else 2_000
+    trace = EasyportWorkload(packets=packets).generate(seed=SEED)
+    events = len(trace)
+    hierarchy = embedded_two_level()
+    factory = AllocatorFactory(hierarchy)
+    hot_sizes = trace.hot_sizes(top=8)
+    configurations = [
+        configuration_from_point(
+            point,
+            hot_sizes=hot_sizes,
+            scratchpad_module=hierarchy.fastest.name,
+            main_module=hierarchy.background_module.name,
+            label=f"sweep{index:05d}",
+        )
+        for index, point in enumerate(compact_parameter_space().points())
+    ]
+    trace.compiled()  # compile once up front, as an exploration would
+
+    def as_bytes(result):
+        return json.dumps(result.as_dict(), sort_keys=True, default=repr)
+
+    # Batched sweep (best of N fresh engines: the engine's group caches are
+    # the thing under test, so each round starts cold).
+    holder: dict = {}
+
+    def batched_setup():
+        import gc
+
+        holder["engine"] = BatchReplayEngine(trace, factory)
+        gc.collect()
+        return (), {}
+
+    def batched_target():
+        return holder["engine"].run_configurations(configurations)
+
+    batched_results = benchmark.pedantic(
+        batched_target, setup=batched_setup, rounds=3 if dedicated else 2
+    )
+    batched_seconds = benchmark.stats.stats.min
+    engine = holder["engine"]
+
+    # Single fast replay over the same sweep (one pass; it has no
+    # cross-point state to warm).
+    start = time.perf_counter()
+    single_results = []
+    for configuration in configurations:
+        built = factory.build(configuration)
+        profiler = Profiler(built.mapping)
+        single_results.append(
+            profiler.run(built.allocator, trace, configuration.configuration_id)
+        )
+    single_seconds = time.perf_counter() - start
+
+    identical = all(
+        as_bytes(batched) == as_bytes(single)
+        for batched, single in zip(batched_results, single_results)
+    )
+    # Legacy event-loop oracle on a sample (it is ~2 orders slower than the
+    # batched sweep, so sampling keeps the benchmark runnable).
+    for index in range(0, len(configurations), max(1, len(configurations) // 8)):
+        configuration = configurations[index]
+        built = factory.build(configuration)
+        profiler = Profiler(built.mapping, options=ProfilerOptions(fast_replay=False))
+        legacy = profiler.run(built.allocator, trace, configuration.configuration_id)
+        identical = identical and as_bytes(batched_results[index]) == as_bytes(legacy)
+
+    points = len(configurations)
+    speedup = single_seconds / batched_seconds
+    _RESULTS["batched"] = {
+        "space": "compact",
+        "points": points,
+        "events": events,
+        "batched_s": round(batched_seconds, 3),
+        "single_fast_s": round(single_seconds, 3),
+        "batched_point_ms": round(batched_seconds / points * 1e3, 3),
+        "single_point_ms": round(single_seconds / points * 1e3, 3),
+        "batched_events_per_s": round(events * points / batched_seconds),
+        "speedup_vs_single_fast": round(speedup, 2),
+        "target_speedup": TARGET_BATCHED_SPEEDUP,
+        "identical_metrics": identical,
+        "batched_configurations": engine.batched_configurations,
+        "fallback_configurations": engine.fallback_configurations,
+    }
+    print_table(
+        "Batched sweep: batch replay engine vs single fast replay (compact space)",
+        [
+            ("points x events", f"{points} x {events}", "-"),
+            ("batched sweep", f"{batched_seconds:.2f} s", f"{batched_seconds / points * 1e3:.2f} ms/pt"),
+            ("single fast sweep", f"{single_seconds:.2f} s", f"{single_seconds / points * 1e3:.2f} ms/pt"),
+            ("speedup per point", f"x{speedup:.1f}", f">= {TARGET_BATCHED_SPEEDUP} (dedicated)"),
+            ("identical metrics", identical, "required"),
+        ],
+        ("quantity", "measured", "note"),
+    )
+    assert identical
+    # Dedicated runs must clear the acceptance target; quick runs execute on
+    # shared CI runners without NumPy, so they only check the direction.
+    floor = TARGET_BATCHED_SPEEDUP if dedicated else 1.5
+    assert speedup >= floor, (
+        f"batched sweep is only x{speedup:.2f} over single fast replay "
+        f"(target x{floor})"
+    )
+
+
 def test_serial_vs_pool_byte_identity_and_throughput(request, tmp_path):
-    """The pooled backend must stay byte-identical — and is measured here."""
+    """The pooled backend must stay byte-identical — and never slower.
+
+    The smoke space is below the pool's ``serial_threshold``, so the
+    ``--jobs`` run takes the in-process fallback: the measured
+    ``pool_speedup`` records that a small sweep pays (approximately)
+    nothing for having requested workers — the 0.72x regression this
+    replaces came from spinning up a pool that IPC-dispatched 8 points.
+    """
     trace = EasyportWorkload(packets=_packets(request) // 3).generate(seed=SEED)
     space = smoke_parameter_space()
 
-    start = time.perf_counter()
-    serial_db = ExplorationEngine(space, trace, backend=SerialBackend()).explore()
-    serial_seconds = time.perf_counter() - start
-
+    serial_seconds = float("inf")
+    pool_seconds = float("inf")
+    serial_db = pool_db = None
     backend = ProcessPoolBackend(jobs=2)
     try:
-        start = time.perf_counter()
-        pool_db = ExplorationEngine(space, trace, backend=backend).explore()
-        pool_seconds = time.perf_counter() - start
+        # Alternate rounds so machine-load drift hits both paths equally.
+        for _ in range(2):
+            start = time.perf_counter()
+            serial_db = ExplorationEngine(space, trace, backend=SerialBackend()).explore()
+            serial_seconds = min(serial_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            pool_db = ExplorationEngine(space, trace, backend=backend).explore()
+            pool_seconds = min(pool_seconds, time.perf_counter() - start)
     finally:
         backend.close()
 
@@ -266,6 +415,7 @@ def test_serial_vs_pool_byte_identity_and_throughput(request, tmp_path):
         "serial_s": round(serial_seconds, 3),
         "pool_s": round(pool_seconds, 3),
         "pool_speedup": round(serial_seconds / pool_seconds, 2),
+        "serial_fallback": space.size() <= backend.serial_threshold,
         "identical_databases": identical,
     }
     print_table(
@@ -273,9 +423,12 @@ def test_serial_vs_pool_byte_identity_and_throughput(request, tmp_path):
         [
             ("points", space.size(), "-"),
             ("serial", f"{serial_seconds:.2f} s", "-"),
-            ("pool (2 workers)", f"{pool_seconds:.2f} s", "-"),
+            ("pool (2 workers)", f"{pool_seconds:.2f} s", "serial fallback"),
             ("byte-identical databases", identical, "required"),
         ],
         ("quantity", "measured", "note"),
     )
     assert identical
+    # The fallback makes the pooled path the serial path plus a length
+    # check; anything below this floor would mean the threshold regressed.
+    assert serial_seconds / pool_seconds >= 0.8

@@ -352,7 +352,7 @@ def _populate() -> None:
     backends.register(
         "serial",
         SerialBackend,
-        description="in-process evaluation, one point at a time",
+        description="in-process evaluation through the batch replay kernel",
     )
     backends.register(
         "process",

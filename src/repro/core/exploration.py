@@ -14,14 +14,15 @@ outputs live in :mod:`repro.gui` and consume the database produced here.
 Point evaluations are independent of each other, so the engine delegates
 them to a pluggable :class:`EvaluationBackend`:
 
-* :class:`SerialBackend`      — evaluate in-process, one point at a time
-                                (the default, and the paper's behaviour).
-* :class:`ProcessPoolBackend` — fan batches of points out over a
-                                ``multiprocessing`` worker pool with chunked
-                                dispatch.  Results come back in submission
-                                order, so a parallel run produces a
-                                :class:`ResultDatabase` identical to the
-                                serial one.
+* :class:`SerialBackend`      — evaluate the whole batch in-process through
+                                the batch replay kernel (the default).
+* :class:`ProcessPoolBackend` — fan whole sub-batches out over a
+                                ``multiprocessing`` worker pool, one
+                                contiguous slice per worker.  Results come
+                                back in submission order, so a parallel run
+                                produces a :class:`ResultDatabase` identical
+                                to the serial one; batches at or below the
+                                ``serial_threshold`` run in-process instead.
 
 Independently of the backend, the engine memoises evaluations by the
 canonicalised parameter point, so heuristic searches that revisit points
@@ -47,12 +48,14 @@ import math
 import multiprocessing
 import os
 import pickle
+from collections import OrderedDict
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import asdict, dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
 from ..memhier.energy import EnergyModel
 from ..memhier.hierarchy import MemoryHierarchy, embedded_two_level
+from ..profiling.batch import BatchReplayEngine
 from ..profiling.metrics import metric_keys
 from ..profiling.profiler import Profiler, ProfilerOptions
 from ..profiling.tracer import AllocationTrace
@@ -124,6 +127,12 @@ class ExplorationSettings:
     progress_every: int = 0
     label_prefix: str = "cfg"
     shard: ShardSpec | None = None
+    #: Route cache-miss batches through the shared
+    #: :class:`~repro.profiling.batch.BatchReplayEngine` (one trace sweep
+    #: scores every configuration that shares a pool group) instead of one
+    #: full replay per point.  Byte-identical either way — the flag exists
+    #: for A/B tests and as an escape hatch, not because results differ.
+    batch_replay: bool = True
 
 
 def canonical_point_key(point: dict) -> tuple:
@@ -165,7 +174,13 @@ class EvaluationBackend(Protocol):
     def evaluate(
         self, engine: "ExplorationEngine", items: Sequence[tuple[dict, str]]
     ) -> list[ExplorationRecord]:
-        """Profile every ``(point, label)`` item and return ordered records."""
+        """Profile every ``(point, label)`` item and return ordered records.
+
+        The contract is batch-first: implementations receive the whole
+        miss-batch at once so they can hand it to the shared batch replay
+        kernel (serial) or carve it into per-worker sub-batches (pool)
+        instead of profiling point by point.
+        """
         ...
 
     def close(self) -> None:
@@ -174,14 +189,14 @@ class EvaluationBackend(Protocol):
 
 
 class SerialBackend:
-    """Evaluate points one after the other in the calling process."""
+    """Evaluate batches in the calling process via the batch replay kernel."""
 
     jobs = 1
 
     def evaluate(
         self, engine: "ExplorationEngine", items: Sequence[tuple[dict, str]]
     ) -> list[ExplorationRecord]:
-        return [engine.run_point(point, label=label) for point, label in items]
+        return engine.run_points(items)
 
     def close(self) -> None:
         pass
@@ -212,20 +227,56 @@ def _cache_trace(key: tuple[str, str], trace: AllocationTrace) -> None:
     _WORKER_TRACE_CACHE[key] = trace
 
 
+#: Below this pickled-trace size the parent ships plain bytes: creating and
+#: mapping a shared-memory segment costs more than copying a few kilobytes
+#: into each worker's initargs.
+_SHM_MIN_BYTES = 1 << 16
+
+
+def _read_trace_ref(trace_ref: tuple) -> bytes:
+    """Materialise a shipped trace payload from its descriptor.
+
+    ``("bytes", payload)`` carries the pickle inline; ``("shm", name,
+    nbytes)`` names a :mod:`multiprocessing.shared_memory` segment the
+    parent created once for all workers — the worker attaches, copies the
+    payload out and detaches immediately, so the mapping never outlives
+    initialisation.
+    """
+    if trace_ref[0] == "bytes":
+        return trace_ref[1]
+    _kind, name, nbytes = trace_ref
+    from multiprocessing import resource_tracker, shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        payload = bytes(segment.buf[:nbytes])
+    finally:
+        segment.close()
+        try:
+            # Attaching registers the segment with this process's resource
+            # tracker (Python < 3.13 has no track=False); undo that so a
+            # worker exiting cannot unlink the parent-owned segment.
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    return payload
+
+
 def _pool_worker_init(
-    engine_payload: bytes, trace_key: tuple[str, str], trace_payload: bytes
+    engine_payload: bytes, trace_key: tuple[str, str], trace_ref: tuple
 ) -> None:
     """Install the worker's private engine (once per worker, not per task).
 
     ``engine_payload`` is the engine state *without* the trace;
-    ``trace_payload`` is the pickled compiled (columnar) trace, cached by
-    ``trace_key`` so forked workers that already inherited the trace skip
-    deserialisation entirely.
+    ``trace_ref`` describes the pickled compiled (columnar) trace (inline
+    bytes or a shared-memory segment, see :func:`_read_trace_ref`), cached
+    by ``trace_key`` so forked workers that already inherited the trace
+    skip deserialisation entirely.
     """
     global _WORKER_ENGINE
     trace = _WORKER_TRACE_CACHE.get(trace_key)
     if trace is None:
-        trace = AllocationTrace.from_compiled(pickle.loads(trace_payload))
+        trace = AllocationTrace.from_compiled(pickle.loads(_read_trace_ref(trace_ref)))
         _cache_trace(trace_key, trace)
     state = pickle.loads(engine_payload)
     state["trace"] = trace
@@ -242,30 +293,62 @@ def _pool_worker_evaluate(item: tuple[dict, str]) -> ExplorationRecord:
     return _WORKER_ENGINE.run_point(point, label=label)
 
 
+def _pool_worker_evaluate_batch(
+    items: Sequence[tuple[dict, str]],
+) -> list[ExplorationRecord]:
+    """Evaluate one sub-batch on the worker's private engine.
+
+    Whole sub-batches (not single points) are the pool's unit of dispatch,
+    so each worker's :class:`~repro.profiling.batch.BatchReplayEngine`
+    amortises its stream partitions and group simulations across the
+    sub-batch — and, because the worker engine is long-lived, across every
+    sub-batch the worker ever receives for this trace.
+    """
+    if _WORKER_ENGINE is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker engine not initialised")
+    return _WORKER_ENGINE.run_points(items)
+
+
 class ProcessPoolBackend:
     """Evaluate batches of points on a ``multiprocessing`` worker pool.
 
     The engine state is shipped **once** per worker via the pool
     initializer, split into two payloads: the engine-sans-trace state (a
-    few kilobytes, whatever the workload) and the compiled columnar trace,
-    keyed by its content fingerprint and cached per process — so tasks only
-    ever carry the point and its label, re-created pools re-use the
-    already-serialised trace payload, and the freshness digest computed per
-    batch never re-pickles the trace.  ``Pool.map`` with an explicit chunk
-    size gives chunked dispatch and returns results in submission order,
-    which keeps parallel explorations deterministic and byte-identical with
-    serial ones.
+    few kilobytes, whatever the workload) and the compiled columnar trace —
+    placed in a single :mod:`multiprocessing.shared_memory` segment that
+    every worker reads instead of one pickled copy per worker's initargs —
+    keyed by its content fingerprint and cached per process.  Tasks carry
+    whole sub-batches of points, so each worker scores its sub-batch
+    through its own batch replay kernel; results come back in submission
+    order, which keeps parallel explorations deterministic and
+    byte-identical with serial ones.
+
+    Batches at or below ``serial_threshold`` points never touch the pool:
+    worker startup plus IPC costs more than evaluating a handful of points
+    in-process (BENCH_eval.json once recorded a 0.72x "speedup" on a small
+    sweep), so small batches take the serial batch-kernel path and a
+    ``--jobs`` run is never slower than a serial one.
 
     Parameters
     ----------
     jobs:
         Worker-process count; defaults to ``os.cpu_count()``.
     chunk_size:
-        Points per dispatched chunk.  Default: batch split into roughly four
-        chunks per worker, a standard latency/imbalance compromise.
+        Points per dispatched sub-batch.  Default: batch split into roughly
+        four sub-batches per worker, a standard latency/imbalance
+        compromise.
     start_method:
         ``multiprocessing`` start method (``fork``/``spawn``/``forkserver``);
         ``None`` uses the platform default.
+    serial_threshold:
+        Largest batch evaluated in-process instead of on the pool.
+        Default: ``4 * jobs`` (below one sub-batch per worker, dispatch
+        cannot pay for itself).
+    share_trace:
+        Ship the compiled trace through shared memory (default).  Disabled,
+        every worker receives its own pickled copy via initargs — the
+        pre-batch behaviour, kept as an escape hatch for platforms without
+        ``/dev/shm``.
     """
 
     def __init__(
@@ -273,16 +356,27 @@ class ProcessPoolBackend:
         jobs: int | None = None,
         chunk_size: int | None = None,
         start_method: str | None = None,
+        serial_threshold: int | None = None,
+        share_trace: bool = True,
     ) -> None:
         resolved = jobs if jobs is not None else (os.cpu_count() or 1)
         if resolved < 1:
             raise ValueError("jobs must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if serial_threshold is not None and serial_threshold < 0:
+            raise ValueError("serial_threshold must be >= 0")
         self.jobs = resolved
         self.chunk_size = chunk_size
         self.start_method = start_method
+        self.serial_threshold = (
+            serial_threshold if serial_threshold is not None else 4 * resolved
+        )
+        self.share_trace = share_trace
         self._pool: multiprocessing.pool.Pool | None = None
+        # Parent-owned shared-memory segment holding the pickled compiled
+        # trace for the current pool's workers (None when shipped inline).
+        self._trace_shm = None
         # Digest of the engine state the current workers were pickled from.
         # Comparing state (not object identity) makes the pool track any
         # mutation that would change evaluation results — e.g. assigning
@@ -322,6 +416,36 @@ class ProcessPoolBackend:
     # runtime.  The freshness digest covers the engine-sans-trace payload
     # plus the trace fingerprint, both cheap — the trace itself is never
     # re-serialised once its payload is cached.
+    def _trace_ref_for(self, trace_payload: bytes) -> tuple:
+        """Stage the pickled trace for worker pickup (shared memory or inline).
+
+        One segment serves every worker of the pool; it stays mapped in the
+        parent until the pool is torn down (workers attach by name during
+        their initialisation, which can happen lazily on some platforms).
+        """
+        if self.share_trace and len(trace_payload) >= _SHM_MIN_BYTES:
+            try:
+                from multiprocessing import shared_memory
+
+                segment = shared_memory.SharedMemory(
+                    create=True, size=len(trace_payload)
+                )
+            except (ImportError, OSError):  # pragma: no cover - no /dev/shm
+                return ("bytes", trace_payload)
+            segment.buf[: len(trace_payload)] = trace_payload
+            self._trace_shm = segment
+            return ("shm", segment.name, len(trace_payload))
+        return ("bytes", trace_payload)
+
+    def _release_trace_shm(self) -> None:
+        segment, self._trace_shm = self._trace_shm, None
+        if segment is not None:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+
     def _ensure_pool(self, engine: "ExplorationEngine") -> multiprocessing.pool.Pool:
         engine_payload, trace_key, trace_payload = self._engine_payloads(engine)
         digest = hashlib.sha256(
@@ -343,7 +467,7 @@ class ProcessPoolBackend:
             self._pool = context.Pool(
                 processes=self.jobs,
                 initializer=_pool_worker_init,
-                initargs=(engine_payload, trace_key, trace_payload),
+                initargs=(engine_payload, trace_key, self._trace_ref_for(trace_payload)),
             )
             self._pool_state_digest = digest
         return self._pool
@@ -359,13 +483,15 @@ class ProcessPoolBackend:
         items = list(items)
         if not items:
             return []
-        if self.jobs == 1 or len(items) == 1:
-            # A pool of one worker only adds IPC overhead.
-            return [engine.run_point(point, label=label) for point, label in items]
+        if self.jobs == 1 or len(items) <= max(1, self.serial_threshold):
+            # A pool of one worker only adds IPC overhead, and a small
+            # batch cannot amortise worker startup: evaluate in-process.
+            return engine.run_points(items)
         pool = self._ensure_pool(engine)
-        return pool.map(
-            _pool_worker_evaluate, items, chunksize=self._chunk_size_for(len(items))
-        )
+        size = self._chunk_size_for(len(items))
+        batches = [items[start : start + size] for start in range(0, len(items), size)]
+        results = pool.map(_pool_worker_evaluate_batch, batches, chunksize=1)
+        return [record for batch in results for record in batch]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -373,6 +499,7 @@ class ProcessPoolBackend:
             self._pool.join()
             self._pool = None
             self._pool_state_digest = None
+        self._release_trace_shm()
 
     def __enter__(self) -> "ProcessPoolBackend":
         return self
@@ -396,6 +523,10 @@ def make_backend(jobs: int | None) -> EvaluationBackend:
     ``None`` or ``1`` → :class:`SerialBackend`; ``0`` → a
     :class:`ProcessPoolBackend` with one worker per CPU core; ``N > 1`` →
     a pool of ``N`` workers.  Negative counts raise :class:`ValueError`.
+
+    Pool backends keep their serial fallback for small batches (see
+    :class:`ProcessPoolBackend`'s ``serial_threshold``), so requesting
+    ``--jobs`` for a sweep that turns out to be tiny costs nothing.
     """
     if jobs is None or jobs == 1:
         return SerialBackend()
@@ -405,6 +536,11 @@ def make_backend(jobs: int | None) -> EvaluationBackend:
 
 
 # -- the engine --------------------------------------------------------------
+
+#: Bound on the predict_point prefix-trace cache.  Pruning strategies use a
+#: handful of fractions at most; anything past this is a leak, not a working
+#: set, so the least recently used prefix is evicted.
+_PREFIX_TRACE_LIMIT = 8
 
 
 class ExplorationEngine:
@@ -448,9 +584,14 @@ class ExplorationEngine:
         self.store_hits = 0
         self.store_misses = 0
         self._fingerprint: str | None = None
-        # Prefix traces used by predict_point, keyed by event count, so
-        # pruning does not recompile the same prefix for every candidate.
-        self._prefix_traces: dict[int, AllocationTrace] = {}
+        # Prefix traces used by predict_point, keyed by event count and
+        # LRU-bounded (see _PREFIX_TRACE_LIMIT), so pruning does not
+        # recompile the same prefix for every candidate yet a long sweep
+        # over many distinct fractions cannot grow memory without bound.
+        self._prefix_traces: OrderedDict[int, AllocationTrace] = OrderedDict()
+        # Lazily-built batch replay engine shared by every run_points call
+        # (see _batch_engine); dropped from pickles, rebuilt per process.
+        self._batch: BatchReplayEngine | None = None
 
     # Worker processes receive a pickled copy of the engine; the progress
     # callback may be a closure (unpicklable) and is meaningless off-process,
@@ -463,7 +604,8 @@ class ExplorationEngine:
         state["backend"] = None
         state["store"] = None
         state["_point_cache"] = {}
-        state["_prefix_traces"] = {}
+        state["_prefix_traces"] = OrderedDict()
+        state["_batch"] = None
         state["cache_hits"] = 0
         state["cache_misses"] = 0
         state["store_hits"] = 0
@@ -567,23 +709,114 @@ class ExplorationEngine:
             oom_failures=oom_failures,
         )
 
+    def _batch_engine(self) -> BatchReplayEngine:
+        """The engine's shared batch replay kernel (rebuilt when stale).
+
+        Staleness is checked against the compiled trace *object* — the
+        trace invalidates its compiled form on mutation, so a new compiled
+        object means new events — and against the profiler knobs baked into
+        the kernel's cached simulations.
+        """
+        batch = self._batch
+        if (
+            batch is None
+            or batch.compiled is not self.trace.compiled()
+            or batch.options.payload_access_factor
+            != self.settings.payload_access_factor
+        ):
+            batch = BatchReplayEngine(
+                self.trace,
+                self.factory,
+                energy_model=self.energy_model,
+                options=ProfilerOptions(
+                    payload_access_factor=self.settings.payload_access_factor
+                ),
+            )
+            self._batch = batch
+        return batch
+
+    def run_points(
+        self, items: Sequence[tuple[dict, str]]
+    ) -> list[ExplorationRecord]:
+        """Profile a batch of ``(point, label)`` items (no cache, no backend).
+
+        The batch counterpart of :meth:`run_point`: one shared
+        :class:`~repro.profiling.batch.BatchReplayEngine` scores the whole
+        batch, so configurations that share pool groups share their
+        simulations.  Configurations the batch kernel cannot express fall
+        back to a single replay inside the kernel; with
+        ``settings.batch_replay`` off, every point takes :meth:`run_point`.
+        Byte-identical either way.
+        """
+        if not self.settings.batch_replay:
+            return [self.run_point(point, label=label) for point, label in items]
+        batch = self._batch_engine()
+        records = []
+        for point, label in items:
+            configuration = self.configuration_for(point, label=label)
+            profile = batch.run_configuration(configuration)
+            oom_failures = int(
+                profile.per_pool.get("__profile__", {}).get("oom_failures", 0)
+            )
+            records.append(
+                ExplorationRecord(
+                    configuration=configuration,
+                    metrics=profile.totals,
+                    trace_name=self.trace.name,
+                    oom_failures=oom_failures,
+                )
+            )
+        return records
+
     def evaluate_points(
         self, items: Sequence[tuple[dict, str]]
     ) -> list[ExplorationRecord]:
         """Evaluate a batch of ``(point, label)`` items through caches + backend.
 
-        Lookup order per point: the in-memory memoisation cache (L1), then
-        the persistent :class:`~repro.core.store.ResultStore` when one is
-        attached (L2), then the backend profiles whatever is left as one
-        batch (one evaluation even if a point repeats within the batch).
-        Fresh evaluations are written back to the store, so the next process
-        exploring the same workload starts warm.  The returned list matches
-        the submission order item-for-item.
+        An explicit three-stage pipeline:
 
-        Repeat answers are shallow copies of the memoised record, relabelled
-        with the submitted label (see :func:`_cached_copy`).
+        1. **partition** (:meth:`_partition_batch`) — dedupe the batch and
+           answer what the in-memory memoisation cache (L1) or the
+           persistent :class:`~repro.core.store.ResultStore` (L2, when
+           attached) already knows;
+        2. **profile** (:meth:`_profile_misses`) — hand the remaining
+           misses to the backend as one batch (one evaluation even if a
+           point repeats within the batch), which routes them through the
+           batch replay kernel serially or as per-worker sub-batches;
+        3. **commit** (:meth:`_commit_records`) — memoise fresh records,
+           write them back to the store so the next process exploring the
+           same workload starts warm, and fan answers out to duplicate
+           submission positions.
+
+        The returned list matches the submission order item-for-item.
+        Repeat answers are shallow copies of the memoised record,
+        relabelled with the submitted label (see :func:`_cached_copy`).
         """
         items = list(items)
+        results, pending, pending_keys, positions_by_key = self._partition_batch(items)
+        if pending:
+            records = self._profile_misses(pending)
+            self._commit_records(
+                items, results, pending, pending_keys, positions_by_key, records
+            )
+        return results  # type: ignore[return-value]
+
+    def _partition_batch(
+        self, items: list[tuple[dict, str]]
+    ) -> tuple[
+        list[ExplorationRecord | None],
+        list[tuple[dict, str]],
+        list[tuple],
+        dict[tuple, list[int]],
+    ]:
+        """Stage 1: split a batch into cache answers and profiling misses.
+
+        Returns ``(results, pending, pending_keys, positions_by_key)``:
+        ``results`` holds the submission-ordered answers with ``None`` at
+        every miss position, ``pending`` the deduplicated items still to
+        profile, and ``positions_by_key`` every submission position a
+        pending key must answer (head position first).
+        """
         results: list[ExplorationRecord | None] = [None] * len(items)
         pending: list[tuple[dict, str]] = []
         pending_keys: list[tuple] = []
@@ -611,25 +844,41 @@ class ExplorationEngine:
             positions_by_key[key] = [position]
             pending.append((point, label))
             pending_keys.append(key)
-        if pending:
-            self.cache_misses += len(pending)
-            records = self.backend.evaluate(self, pending)
-            if len(records) != len(pending):  # pragma: no cover - defensive
-                raise RuntimeError(
-                    f"backend returned {len(records)} records for "
-                    f"{len(pending)} submitted points"
+        return results, pending, pending_keys, positions_by_key
+
+    def _profile_misses(
+        self, pending: list[tuple[dict, str]]
+    ) -> list[ExplorationRecord]:
+        """Stage 2: profile the cache misses through the backend, in order."""
+        self.cache_misses += len(pending)
+        records = self.backend.evaluate(self, pending)
+        if len(records) != len(pending):  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"backend returned {len(records)} records for "
+                f"{len(pending)} submitted points"
+            )
+        return records
+
+    def _commit_records(
+        self,
+        items: list[tuple[dict, str]],
+        results: list[ExplorationRecord | None],
+        pending: list[tuple[dict, str]],
+        pending_keys: list[tuple],
+        positions_by_key: dict[tuple, list[int]],
+        records: list[ExplorationRecord],
+    ) -> None:
+        """Stage 3: memoise fresh records, persist them, fill every position."""
+        for (point, _label), key, record in zip(pending, pending_keys, records):
+            self._point_cache[key] = record
+            if self.store is not None:
+                self.store.put(
+                    self.fingerprint, point, record, spec_hash=self.spec_hash
                 )
-            for (point, _label), key, record in zip(pending, pending_keys, records):
-                self._point_cache[key] = record
-                if self.store is not None:
-                    self.store.put(
-                        self.fingerprint, point, record, spec_hash=self.spec_hash
-                    )
-                first, *rest = positions_by_key[key]
-                results[first] = record
-                for position in rest:
-                    results[position] = _cached_copy(record, items[position][1])
-        return results  # type: ignore[return-value]
+            first, *rest = positions_by_key[key]
+            results[first] = record
+            for position in rest:
+                results[position] = _cached_copy(record, items[position][1])
 
     def evaluate_point(self, point: dict, label: str = "") -> ExplorationRecord:
         """Cached evaluation of one point (single-item :meth:`evaluate_points`)."""
@@ -674,7 +923,11 @@ class ExplorationEngine:
             prefix = AllocationTrace(
                 events=self.trace.events[:count], name=self.trace.name
             )
+            while len(self._prefix_traces) >= _PREFIX_TRACE_LIMIT:
+                self._prefix_traces.popitem(last=False)
             self._prefix_traces[count] = prefix
+        else:
+            self._prefix_traces.move_to_end(count)
         configuration = self.configuration_for(point)
         built = self.factory.build(configuration)
         profiler = Profiler(

@@ -50,7 +50,7 @@ class AllocatorFactory:
 
     def build(self, configuration: AllocatorConfiguration) -> BuiltAllocator:
         """Construct the allocator and mapping described by ``configuration``."""
-        mapping = self._build_mapping(configuration)
+        mapping = self.build_mapping(configuration)
         pools = [
             self._build_pool(spec, mapping) for spec in configuration.pools
         ]
@@ -59,24 +59,7 @@ class AllocatorFactory:
             allocator=allocator, mapping=mapping, configuration=configuration
         )
 
-    # -- internals -----------------------------------------------------------
-
-    def _resolve_module(self, spec: PoolSpec) -> str:
-        if not spec.module:
-            return self.hierarchy.background_module.name
-        if spec.module in self.hierarchy:
-            return spec.module
-        # Convenience aliases used by configuration_from_point.
-        if spec.module == "scratchpad":
-            return self.scratchpad_module
-        if spec.module == "main":
-            return self.main_module
-        raise ConfigurationError(
-            f"pool '{spec.name}' is placed on unknown memory module '{spec.module}' "
-            f"(hierarchy has: {', '.join(self.hierarchy.module_names())})"
-        )
-
-    def _build_mapping(self, configuration: AllocatorConfiguration) -> PoolMapping:
+    def build_mapping(self, configuration: AllocatorConfiguration) -> PoolMapping:
         """Place every pool, sharing bounded modules between co-located pools.
 
         Pools with an explicit ``reserved_bytes`` keep their reservation.
@@ -84,6 +67,11 @@ class AllocatorFactory:
         remaining capacity equally, so that (for instance) three dedicated
         pools mapped to the 64 KB scratchpad each get a third of it instead
         of the first pool starving the other two.
+
+        Public because the batched replay engine
+        (:class:`repro.profiling.batch.BatchReplayEngine`) needs the
+        placements — and through them each pool's capacity — without paying
+        for pool construction.
         """
         resolved = [(spec, self._resolve_module(spec)) for spec in configuration.pools]
 
@@ -124,6 +112,23 @@ class AllocatorFactory:
             )
         mapping.validate_reservations()
         return mapping
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve_module(self, spec: PoolSpec) -> str:
+        if not spec.module:
+            return self.hierarchy.background_module.name
+        if spec.module in self.hierarchy:
+            return spec.module
+        # Convenience aliases used by configuration_from_point.
+        if spec.module == "scratchpad":
+            return self.scratchpad_module
+        if spec.module == "main":
+            return self.main_module
+        raise ConfigurationError(
+            f"pool '{spec.name}' is placed on unknown memory module '{spec.module}' "
+            f"(hierarchy has: {', '.join(self.hierarchy.module_names())})"
+        )
 
     def _build_pool(self, spec: PoolSpec, mapping: PoolMapping) -> Pool:
         space = mapping.address_space_for(spec.name)

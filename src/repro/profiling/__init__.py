@@ -1,5 +1,6 @@
 """Profiling substrate: traces, trace-driven profiler, metrics, logs and parser."""
 
+from .batch import BatchReplayEngine
 from .events import AllocationEvent, EventKind, alloc, free
 from .logformat import (
     ProfilingLogWriter,
@@ -40,6 +41,7 @@ from .tracer import AllocationTrace, TraceError, TraceSummary
 __all__ = [
     "AllocationEvent",
     "AllocationTrace",
+    "BatchReplayEngine",
     "DEFAULT_PAYLOAD_ACCESS_FACTOR",
     "EventKind",
     "LevelMetrics",

@@ -1,0 +1,294 @@
+"""Byte-identity of the batch replay engine against both replay oracles.
+
+The batch kernel (:class:`repro.profiling.batch.BatchReplayEngine`) scores
+many configurations off shared pool-group simulations; its contract is that
+every :class:`~repro.profiling.metrics.ProfileResult` is *exactly* what the
+single fast replay — and through ``tests/test_fast_replay.py``'s own
+contract, the legacy event loop — would have produced.  This file holds the
+kernel to that across every standard space and workload, through the
+exploration engine and both backends, for the mid-trace OOM fallback, and
+for the shared-memory trace shipping of the process pool.
+"""
+
+import json
+
+import pytest
+
+from repro.core.configuration import configuration_from_point
+from repro.core.exploration import (
+    _PREFIX_TRACE_LIMIT,
+    ExplorationEngine,
+    ExplorationSettings,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.core.factory import AllocatorFactory
+from repro.core.space import STANDARD_SPACES
+from repro.core.store import ResultStore
+from repro.memhier.hierarchy import embedded_two_level
+from repro.profiling.batch import BatchReplayEngine
+from repro.profiling.profiler import Profiler, ProfilerOptions
+from repro.workloads.easyport import EasyportWorkload
+from repro.workloads.synthetic import PhasedWorkload, UniformRandomWorkload
+from repro.workloads.vtc import VTCWorkload
+
+#: Points sampled per parameter space for the cross-space sweep.
+POINTS_PER_SPACE = 4
+
+WORKLOADS = {
+    "easyport": lambda: EasyportWorkload(packets=120).generate(seed=7),
+    "vtc": lambda: VTCWorkload(image_width=24, image_height=24).generate(seed=7),
+    "uniform": lambda: UniformRandomWorkload(operations=400).generate(seed=7),
+    "phased": lambda: PhasedWorkload().generate(seed=7),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def workload_trace(request):
+    return request.param, WORKLOADS[request.param]()
+
+
+def result_bytes(result):
+    return json.dumps(result.as_dict(), sort_keys=True, default=repr).encode()
+
+
+def single_replay(trace, configuration, hierarchy, fast=True):
+    factory = AllocatorFactory(hierarchy)
+    built = factory.build(configuration)
+    profiler = Profiler(built.mapping, options=ProfilerOptions(fast_replay=fast))
+    return profiler.run(built.allocator, trace, configuration.configuration_id)
+
+
+def configuration_of(trace, point, hierarchy, label=""):
+    return configuration_from_point(
+        point,
+        hot_sizes=trace.hot_sizes(top=8),
+        scratchpad_module=hierarchy.fastest.name,
+        main_module=hierarchy.background_module.name,
+        label=label,
+    )
+
+
+class TestKernelIdentityAcrossSpaces:
+    """BatchReplayEngine vs the single fast replay, every space × workload."""
+
+    @pytest.mark.parametrize("space_name", sorted(STANDARD_SPACES))
+    def test_batch_matches_fast_replay(self, space_name, workload_trace):
+        _name, trace = workload_trace
+        hierarchy = embedded_two_level()
+        engine = BatchReplayEngine(trace, AllocatorFactory(hierarchy))
+        space = STANDARD_SPACES[space_name]()
+        for index, point in enumerate(space.sample(POINTS_PER_SPACE, seed=11)):
+            configuration = configuration_of(trace, point, hierarchy, f"p{index}")
+            batch = engine.run_configuration(configuration)
+            fast = single_replay(trace, configuration, hierarchy)
+            assert result_bytes(batch) == result_bytes(fast)
+        assert engine.batched_configurations > 0
+
+    def test_batch_matches_legacy_loop(self, workload_trace):
+        """The legacy event loop is the executable specification."""
+        _name, trace = workload_trace
+        hierarchy = embedded_two_level()
+        engine = BatchReplayEngine(trace, AllocatorFactory(hierarchy))
+        space = STANDARD_SPACES["smoke"]()
+        for index, point in enumerate(space.points()):
+            configuration = configuration_of(trace, point, hierarchy, f"s{index}")
+            batch = engine.run_configuration(configuration)
+            legacy = single_replay(trace, configuration, hierarchy, fast=False)
+            assert result_bytes(batch) == result_bytes(legacy)
+
+
+class TestKernelIdentityAcrossPolicies:
+    """Every general-pool policy combination through the flat kernel."""
+
+    def test_all_policy_combinations(self):
+        trace = UniformRandomWorkload(operations=400).generate(seed=3)
+        hierarchy = embedded_two_level()
+        engine = BatchReplayEngine(trace, AllocatorFactory(hierarchy))
+        from repro.allocator.coalescing import COALESCING_POLICIES
+        from repro.allocator.fit import FIT_POLICIES
+        from repro.allocator.freelist import FREE_LIST_POLICIES
+        from repro.allocator.splitting import SPLITTING_POLICIES
+
+        count = 0
+        for free_list in sorted(FREE_LIST_POLICIES):
+            for fit in sorted(FIT_POLICIES):
+                for coalescing in sorted(COALESCING_POLICIES):
+                    for splitting in sorted(SPLITTING_POLICIES):
+                        point = {
+                            "num_dedicated_pools": 0,
+                            "general_free_list": free_list,
+                            "general_fit": fit,
+                            "general_coalescing": coalescing,
+                            "general_splitting": splitting,
+                            "chunk_size": 2048,
+                        }
+                        configuration = configuration_of(
+                            trace, point, hierarchy, f"c{count}"
+                        )
+                        batch = engine.run_configuration(configuration)
+                        fast = single_replay(trace, configuration, hierarchy)
+                        assert result_bytes(batch) == result_bytes(fast), point
+                        count += 1
+        assert engine.fallback_configurations == 0
+
+
+class TestOOMFallback:
+    """Dedicated-pool capacity divergence mid-trace → per-config fallback."""
+
+    def test_diverged_groups_fall_back_identically(self):
+        trace = EasyportWorkload(packets=400).generate(seed=7)
+        # Scratchpad small enough that dedicated pools overflow mid-trace
+        # and spill to the general pool — inexpressible for the stream
+        # partition, so those configurations must take the single-replay
+        # path and still match both oracles.
+        hierarchy = embedded_two_level(scratchpad_size=2048, main_size=16384)
+        engine = BatchReplayEngine(trace, AllocatorFactory(hierarchy))
+        space = STANDARD_SPACES["default"]()
+        for index, point in enumerate(space.sample(6, seed=2)):
+            configuration = configuration_of(trace, point, hierarchy, f"o{index}")
+            batch = engine.run_configuration(configuration)
+            fast = single_replay(trace, configuration, hierarchy)
+            legacy = single_replay(trace, configuration, hierarchy, fast=False)
+            assert result_bytes(batch) == result_bytes(fast)
+            assert result_bytes(batch) == result_bytes(legacy)
+        assert engine.fallback_configurations > 0, (
+            "OOM divergence never triggered; shrink the hierarchy"
+        )
+
+
+class TestEngineLevelIdentity:
+    """batch_replay on vs off through ExplorationEngine: same database."""
+
+    def database_rows(self, database):
+        return [
+            (
+                record.configuration.label,
+                record.configuration.configuration_id,
+                record.metrics.as_dict(),
+                record.oom_failures,
+            )
+            for record in database.records
+        ]
+
+    def explore_with(self, trace, batch_replay, store=None, backend=None):
+        engine = ExplorationEngine(
+            STANDARD_SPACES["smoke"](),
+            trace,
+            settings=ExplorationSettings(batch_replay=batch_replay),
+            store=store,
+            backend=backend,
+        )
+        try:
+            return self.database_rows(engine.explore())
+        finally:
+            engine.close()
+
+    def test_database_identical(self, workload_trace):
+        _name, trace = workload_trace
+        assert self.explore_with(trace, True) == self.explore_with(trace, False)
+
+    def test_store_entries_identical(self, workload_trace, tmp_path):
+        _name, trace = workload_trace
+        self.explore_with(trace, True, store=ResultStore(tmp_path / "batch.jsonl"))
+        self.explore_with(trace, False, store=ResultStore(tmp_path / "point.jsonl"))
+
+        def entries(path):
+            return sorted(
+                json.dumps({k: v for k, v in json.loads(line).items() if k != "at"},
+                           sort_keys=True)
+                for line in path.read_text().splitlines()
+            )
+
+        assert entries(tmp_path / "batch.jsonl") == entries(tmp_path / "point.jsonl")
+
+
+class TestProcessPoolBatchDispatch:
+    """Sub-batch dispatch, shared-memory trace shipping, serial threshold."""
+
+    def test_pool_matches_serial(self):
+        trace = EasyportWorkload(packets=150).generate(seed=5)
+        space = STANDARD_SPACES["smoke"]()
+        serial = ExplorationEngine(space, trace, backend=SerialBackend())
+        backend = ProcessPoolBackend(jobs=2, serial_threshold=0)
+        pooled = ExplorationEngine(space, trace, backend=backend)
+        try:
+            items = [(point, f"cfg{i:05d}") for i, point in enumerate(space.points())]
+            want = serial.evaluate_points(items)
+            got = pooled.evaluate_points(items)
+            assert backend._pool is not None, "pool was never created"
+            assert [result_record(r) for r in got] == [result_record(r) for r in want]
+        finally:
+            serial.close()
+            pooled.close()
+
+    def test_shared_memory_trace_shipping(self, monkeypatch):
+        import repro.core.exploration as exploration
+
+        # Force the shared-memory path whatever the trace size.
+        monkeypatch.setattr(exploration, "_SHM_MIN_BYTES", 0)
+        trace = EasyportWorkload(packets=150).generate(seed=5)
+        space = STANDARD_SPACES["smoke"]()
+        backend = ProcessPoolBackend(jobs=2, serial_threshold=0)
+        engine = ExplorationEngine(space, trace, backend=backend)
+        serial = ExplorationEngine(space, trace, backend=SerialBackend())
+        try:
+            items = [(point, f"cfg{i:05d}") for i, point in enumerate(space.points())]
+            got = engine.evaluate_points(items)
+            assert backend._trace_shm is not None, "trace was not staged in shm"
+            want = serial.evaluate_points(items)
+            assert [result_record(r) for r in got] == [result_record(r) for r in want]
+        finally:
+            engine.close()
+            serial.close()
+        # close() must unlink the parent-owned segment.
+        assert backend._trace_shm is None
+
+    def test_small_batches_never_touch_the_pool(self):
+        trace = EasyportWorkload(packets=150).generate(seed=5)
+        space = STANDARD_SPACES["smoke"]()
+        backend = ProcessPoolBackend(jobs=2)  # serial_threshold defaults to 8
+        engine = ExplorationEngine(space, trace, backend=backend)
+        serial = ExplorationEngine(space, trace, backend=SerialBackend())
+        try:
+            items = [(point, f"cfg{i:05d}") for i, point in enumerate(space.points())]
+            assert len(items) <= backend.serial_threshold
+            got = engine.evaluate_points(items)
+            want = serial.evaluate_points(items)
+            assert backend._pool is None, "small batch spun up worker processes"
+            assert [result_record(r) for r in got] == [result_record(r) for r in want]
+        finally:
+            engine.close()
+            serial.close()
+
+    def test_serial_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(jobs=2, serial_threshold=-1)
+
+
+def result_record(record):
+    return (
+        record.configuration.label,
+        record.configuration.configuration_id,
+        record.metrics.as_dict(),
+        record.oom_failures,
+    )
+
+
+class TestPrefixTraceCacheBound:
+    def test_predict_point_cache_is_bounded(self):
+        trace = EasyportWorkload(packets=200).generate(seed=5)
+        engine = ExplorationEngine(STANDARD_SPACES["smoke"](), trace)
+        point = next(iter(STANDARD_SPACES["smoke"]().points()))
+        for step in range(1, 2 * _PREFIX_TRACE_LIMIT + 1):
+            engine.predict_point(point, fraction=step / (2 * _PREFIX_TRACE_LIMIT))
+        assert len(engine._prefix_traces) <= _PREFIX_TRACE_LIMIT
+
+    def test_predict_point_reuses_recent_prefixes(self):
+        trace = EasyportWorkload(packets=200).generate(seed=5)
+        engine = ExplorationEngine(STANDARD_SPACES["smoke"](), trace)
+        point = next(iter(STANDARD_SPACES["smoke"]().points()))
+        engine.predict_point(point, fraction=0.25)
+        cached = dict(engine._prefix_traces)
+        engine.predict_point(point, fraction=0.25)
+        assert dict(engine._prefix_traces) == cached  # same objects, no rebuild
