@@ -47,6 +47,14 @@ verify-shards:
 	@echo "3-shard merge reproduces the single-run database byte-identically"
 	rm -rf $(SHARD_DIR)
 
+# Distributed-service verification: the in-process protocol/unit tests
+# plus the 3-process cluster fault matrix — clean run, killed-and-restarted
+# worker, expired-and-re-leased lease, torn store write — each asserting
+# the cluster artefact is byte-identical to the single-host run.  CI runs
+# the cluster file as a with/without-worker-kill matrix.
+verify-cluster:
+	$(RUN) -m pytest tests/test_distrib.py tests/test_distrib_cluster.py -q
+
 # Declarative-experiment verification: the default spec emitted by
 # `dmexplore spec` must dry-run, run, and produce a database byte-identical
 # to the equivalent legacy `dmexplore explore` flag invocation — for the
@@ -72,4 +80,4 @@ verify-spec:
 	@echo "spec-driven runs reproduce the flag invocations byte-identically"
 	rm -rf $(SPEC_DIR)
 
-.PHONY: verify bench bench-eval bench-eval-full verify-docs verify-bench verify-shards verify-spec
+.PHONY: verify bench bench-eval bench-eval-full verify-docs verify-bench verify-shards verify-cluster verify-spec

@@ -4,12 +4,75 @@ Makes the test and benchmark suites runnable even when the package has not
 been installed (e.g. on offline machines where ``pip install -e .`` cannot
 build an editable wheel): if ``repro`` is not importable, the ``src/``
 layout directory is added to ``sys.path``.
+
+Also installs a per-test timeout guard (``pytest-timeout`` is not part of
+the pinned environment): every test gets a ``SIGALRM`` deadline — generous
+by default, tightened per test with ``@pytest.mark.timeout(seconds)`` —
+and a test that hangs dumps the stacks of every thread and fails instead
+of wedging the whole suite.  The distributed-service tests spawn real
+coordinator/worker subprocesses, where a protocol deadlock would
+otherwise freeze CI forever.
 """
 
+import faulthandler
+import os
+import signal
 import sys
+import threading
 from pathlib import Path
+
+import pytest
 
 try:
     import repro  # noqa: F401
 except ImportError:  # pragma: no cover - only taken on non-installed checkouts
     sys.path.insert(0, str(Path(__file__).parent / "src"))
+
+#: Default per-test deadline, overridable for slow machines via the
+#: environment and per test via ``@pytest.mark.timeout(seconds)``.  Kept
+#: far above any legitimate test (the whole tier-1 suite runs in ~1 min)
+#: so it only ever fires on genuine hangs.
+DEFAULT_TEST_TIMEOUT = float(os.environ.get("DMEXPLORE_TEST_TIMEOUT", "300"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test with a stack dump if it runs "
+        "longer than this (SIGALRM-based; main thread, POSIX only)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _test_timeout(request):
+    """Arm a SIGALRM deadline around every test.
+
+    On expiry, every thread's stack is dumped to stderr (so the hang site
+    is visible in CI logs) and the test fails.  The guard is skipped where
+    SIGALRM cannot work: non-POSIX platforms, non-main threads, or a zero/
+    negative configured timeout.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT
+    if (
+        seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        faulthandler.dump_traceback(file=sys.stderr, all_threads=True)
+        pytest.fail(
+            f"test exceeded the {seconds:g}s timeout guard (stacks above)",
+            pytrace=False,
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+        signal.signal(signal.SIGALRM, previous_handler)

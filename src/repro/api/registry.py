@@ -270,13 +270,16 @@ def _run_exhaustive(
     return engine.explore(sink=sink)
 
 
-#: The six component registries the experiment layer resolves specs through.
+#: The component registries the experiment layer resolves specs through.
 workloads = Registry("workload")
 spaces = Registry("space")
 hierarchies = Registry("hierarchy")
 strategies = Registry("strategy")
 backends = Registry("backend")
 sinks = Registry("sink")
+#: Roles of the distributed service (``dmexplore serve``/``worker``); the
+#: factories build :class:`repro.distrib.Coordinator`/``Worker`` objects.
+services = Registry("service")
 
 
 def _populate() -> None:
@@ -375,6 +378,30 @@ def _populate() -> None:
         "pareto",
         _pareto_sink,
         description="live incremental Pareto front over the produced records",
+    )
+
+    # The service factories import repro.distrib lazily: distrib builds on
+    # the experiment layer, which imports this module — a top-level import
+    # here would be circular.
+    def _coordinator(spec, **options):
+        from ..distrib import Coordinator
+
+        return Coordinator(spec, **options)
+
+    def _worker(address, **options):
+        from ..distrib import Worker
+
+        return Worker(address, **options)
+
+    services.register(
+        "coordinator",
+        _coordinator,
+        description="lease enumeration ranges to workers (dmexplore serve)",
+    )
+    services.register(
+        "worker",
+        _worker,
+        description="evaluate leased ranges for a coordinator (dmexplore worker)",
     )
 
 

@@ -58,6 +58,19 @@ STORE_KINDS = ("none", "jsonl")
 #: model today; its constants are the ref's params.
 ENERGY_MODELS = ("default",)
 
+#: Serve transports of the distributed service (:mod:`repro.distrib`).
+#: There is one: length-prefixed JSON over TCP.  Its params configure
+#: ``dmexplore serve`` — they never affect what the experiment produces.
+SERVE_KINDS = ("tcp",)
+
+#: Parameters a ``serve`` ref may carry, with the type each must have.
+SERVE_PARAMS = {
+    "host": str,
+    "port": int,
+    "lease_size": int,
+    "lease_timeout": (int, float),
+}
+
 
 class SpecError(ValueError):
     """An experiment document that cannot describe a runnable experiment.
@@ -150,6 +163,7 @@ class ExperimentSpec:
     backend: ComponentRef = _ref("serial")
     store: ComponentRef = _ref("none")
     sink: ComponentRef = _ref("none")
+    serve: ComponentRef = _ref("tcp")
     seed: int = DEFAULT_SEED
     metrics: tuple[str, ...] | None = None
     sample: int | None = None
@@ -172,6 +186,7 @@ class ExperimentSpec:
             "backend": self.backend.as_dict(),
             "store": self.store.as_dict(),
             "sink": self.sink.as_dict(),
+            "serve": self.serve.as_dict(),
             "seed": self.seed,
             "metrics": list(self.metrics) if self.metrics is not None else None,
             "sample": self.sample,
@@ -215,7 +230,7 @@ class ExperimentSpec:
             )
         kwargs: dict[str, Any] = {"spec_version": version}
         for key in ("workload", "space", "hierarchy", "energy", "strategy",
-                    "backend", "store", "sink"):
+                    "backend", "store", "sink", "serve"):
             if key in data:
                 kwargs[key] = ComponentRef.from_value(data[key], key)
         for key, kind in (("seed", int), ("sample_seed", int)):
@@ -285,7 +300,10 @@ class ExperimentSpec:
         * ``store`` — a warm store changes what is profiled, never what is
           produced;
         * ``sink`` — a streaming consumer observes the run, it does not
-          alter it.
+          alter it;
+        * ``serve`` — where a coordinator listens and how it leases are
+          cluster topology; the distributed artefact is byte-identical to
+          the single-host one by construction (and test).
 
         Component params are additionally normalised against the registry
         entry defaults, so equivalent descriptions hash equally:
@@ -298,6 +316,7 @@ class ExperimentSpec:
         data["backend"] = defaults.backend.as_dict()
         data["store"] = defaults.store.as_dict()
         data["sink"] = defaults.sink.as_dict()
+        data["serve"] = defaults.serve.as_dict()
         for key, reg in (
             ("workload", registry.workloads),
             ("space", registry.spaces),
@@ -374,6 +393,26 @@ class ExperimentSpec:
                 f"store.params: unknown parameter '{sorted(unknown)[0]}' "
                 "(known: path)"
             )
+        if self.serve.name not in SERVE_KINDS:
+            raise SpecError(
+                f"serve.name: unknown serve transport '{self.serve.name}' "
+                f"(known: {', '.join(SERVE_KINDS)})"
+            )
+        unknown = set(self.serve.params) - set(SERVE_PARAMS)
+        if unknown:
+            raise SpecError(
+                f"serve.params: unknown parameter '{sorted(unknown)[0]}' "
+                f"(known: {', '.join(sorted(SERVE_PARAMS))})"
+            )
+        for name, kinds in SERVE_PARAMS.items():
+            if name in self.serve.params:
+                value = self.serve.params[name]
+                if isinstance(value, bool) or not isinstance(value, kinds):
+                    wanted = kinds[0] if isinstance(kinds, tuple) else kinds
+                    raise SpecError(
+                        f"serve.params.{name}: expected {wanted.__name__}, "
+                        f"got {type(value).__name__}"
+                    )
         valid_metrics = metric_keys()
         for metric in self.metrics or ():
             if metric not in valid_metrics:
@@ -488,6 +527,11 @@ def default_spec_document() -> dict:
         "store": spec.store.as_dict(),
         "//sink": f"registry: {', '.join(registry.sinks.names())}",
         "sink": spec.sink.as_dict(),
+        "//serve": (
+            "distributed service settings for 'dmexplore serve' "
+            "(params: host, port, lease_size, lease_timeout)"
+        ),
+        "serve": spec.serve.as_dict(),
         "//seed": "workload generation seed (also seeds heuristic searches)",
         "seed": spec.seed,
         "//metrics": f"null = all of: {', '.join(metric_keys())}",

@@ -16,6 +16,9 @@ an :class:`~repro.api.ExperimentSpec` and hands it to
     run an exploration straight from flags,
 * ``dmexplore merge shard1.json shard2.json --out merged.json``
     union shard artefacts back into one database,
+* ``dmexplore serve experiment.json`` / ``dmexplore worker HOST:PORT``
+    distribute an exhaustive sweep over worker processes (byte-identical
+    to the single-host run; see ``docs/distributed.md``),
 * ``dmexplore pareto results.json``
     print the Pareto-optimal configurations of a stored database,
 * ``dmexplore report results.json --export-dir out/``
@@ -75,6 +78,7 @@ LIST_KINDS = {
     "strategies": registry.strategies,
     "backends": registry.backends,
     "sinks": registry.sinks,
+    "services": registry.services,
 }
 
 
@@ -327,6 +331,78 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--x-metric", choices=metric_keys(), default="accesses")
     report_parser.add_argument("--y-metric", choices=metric_keys(), default="footprint")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="coordinate a distributed exploration over worker processes"
+    )
+    serve_parser.add_argument(
+        "experiment", type=Path, help="experiment file written by 'dmexplore spec'"
+    )
+    serve_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one spec field with a dotted path (as in 'run')",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default=None,
+        help="interface to listen on (default: spec serve.params.host, 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="port to listen on (default: spec serve.params.port; 0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--lease-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="points per lease (default: spec serve.params.lease_size, else auto)",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-lease a range when its worker misses heartbeats this long",
+    )
+    serve_parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "shared result store path workers commit to (default: the spec's "
+            "jsonl store path, else ~/.cache/dmexplore)"
+        ),
+    )
+    serve_parser.add_argument("--out", type=Path, default=Path("exploration.json"))
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="evaluate leased ranges for a running coordinator"
+    )
+    worker_parser.add_argument(
+        "address", metavar="HOST:PORT", help="the coordinator's listen address"
+    )
+    worker_parser.add_argument(
+        "--experiment",
+        type=Path,
+        default=None,
+        help=(
+            "local copy of the experiment file; its spec hash is sent in the "
+            "hello so a mismatched worker is rejected up front"
+        ),
+    )
+    worker_parser.add_argument(
+        "--name",
+        default="",
+        help="worker identity in coordinator logs (default: worker-<pid>)",
+    )
+
     trace_parser = subparsers.add_parser("trace", help="generate and save a workload trace")
     trace_parser.add_argument(
         "--workload",
@@ -567,6 +643,62 @@ def _streamed_view(args: argparse.Namespace) -> StreamingResultView | None:
     return StreamingResultView(source, name=f"{resolved.trace.name}-exploration")
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # repro.distrib is imported lazily: every other subcommand works without
+    # it, and the import pulls in the whole experiment layer eagerly.
+    from .distrib import DistribError, serve_experiment
+
+    try:
+        document = json.loads(args.experiment.read_text(encoding="utf-8"))
+    except OSError as error:
+        print(f"error: cannot read experiment file: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {args.experiment} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    try:
+        if not isinstance(document, dict):
+            raise SpecError("experiment document must be a JSON object")
+        apply_overrides(document, args.overrides)
+        spec = ExperimentSpec.from_dict(document)
+        database = serve_experiment(
+            spec,
+            out=args.out,
+            host=args.host,
+            port=args.port,
+            lease_size=args.lease_size,
+            lease_timeout=args.lease_timeout,
+            store_path=str(args.store) if args.store is not None else None,
+        )
+    except (SpecError, DistribError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"stored {len(database)} results in {args.out}")
+    print(
+        f"Pareto-optimal configurations: "
+        f"{len(database.pareto_records(list(spec.metrics) if spec.metrics else None))}"
+    )
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .distrib import parse_address, run_worker
+
+    try:
+        address = parse_address(args.address)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spec_hash = ""
+    if args.experiment is not None:
+        try:
+            spec_hash = ExperimentSpec.from_json(args.experiment).spec_hash()
+        except SpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    return run_worker(address, spec_hash=spec_hash, name=args.name)
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     workload = registry.workloads.create(args.workload)
     trace = workload.generate(seed=args.seed)
@@ -592,6 +724,8 @@ def main(argv: list[str] | None = None) -> int:
         "merge": _command_merge,
         "pareto": _command_pareto,
         "report": _command_report,
+        "serve": _command_serve,
+        "worker": _command_worker,
         "trace": _command_trace,
     }
     return commands[args.command](args)

@@ -43,6 +43,7 @@ Two further layers make large sweeps practical (see :mod:`repro.core.store`):
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import math
 import multiprocessing
@@ -1063,6 +1064,66 @@ class ExplorationEngine:
             ):
                 print(f"explored {completed}/{total} configurations", flush=True)
         return completed
+
+    # -- range evaluation (the distributed unit of work) -------------------
+
+    def points_in_range(self, start: int, stop: int) -> list[tuple[int, dict]]:
+        """The ``(index, point)`` pairs of enumeration positions [start, stop).
+
+        Contiguous ranges are the lease unit of the distributed service
+        (:mod:`repro.distrib`): a coordinator partitions ``[0, total)`` into
+        ranges and this method materialises one range identically in every
+        process.  Ranges slice the *unsharded* enumeration — combining them
+        with a :class:`ShardSpec` would make positions ambiguous, so that is
+        rejected.
+        """
+        if self.settings.shard is not None:
+            raise ValueError("range evaluation cannot be combined with a shard")
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid range [{start}, {stop})")
+        if self.settings.sample is None:
+            source: Iterable[dict] = self.space.points()
+        else:
+            source = self.space.sample(
+                self.settings.sample, seed=self.settings.sample_seed
+            )
+        return list(itertools.islice(enumerate(source), start, stop))
+
+    def explore_range(
+        self, start: int, stop: int, sink: ResultSink | None = None
+    ) -> ResultDatabase:
+        """Evaluate enumeration positions [start, stop) into a database.
+
+        The range counterpart of :meth:`explore`: same labels (derived from
+        the global enumeration index), same caches (L1 memoisation and the
+        attached store answer known points — which is how a worker resuming
+        a re-leased range re-evaluates only the points its predecessor never
+        committed), same counters and provenance.  The provenance ``shard``
+        field records the range as ``"start:stop"`` so a range artefact is
+        recognisable; merged artefacts normalise it away exactly like shard
+        labels.
+        """
+        database = ResultDatabase(name=f"{self.trace.name}-range-{start}-{stop}")
+        snapshot = self._counter_snapshot()
+        batch = self.points_in_range(start, stop)
+        total = len(batch)
+        completed = 0
+        batch_size = self._explore_batch_size(total)
+        for offset in range(0, total, max(1, batch_size)):
+            completed = self._explore_batch(
+                batch[offset : offset + max(1, batch_size)],
+                total,
+                completed,
+                database,
+                sink,
+            )
+        self._record_counters(database, snapshot)
+        self._attach_provenance(database)
+        if database.provenance is not None:
+            database.provenance = replace(
+                database.provenance, shard=f"{start}:{stop}"
+            )
+        return database
 
     # -- analysis shortcuts -----------------------------------------------
 

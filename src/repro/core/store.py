@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import json
 import os
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from .parameters import ParameterSpace
@@ -132,6 +132,9 @@ class ResultStore:
         self._entries: dict[tuple[str, str, int], dict] = {}
         self._fd: int | None = None
         self._needs_leading_newline = False
+        # How far into the file the entries have been read; refresh() picks
+        # up appends from concurrent writers beyond this offset.
+        self._read_offset = 0
         self._load()
 
     # -- loading -----------------------------------------------------------
@@ -142,6 +145,7 @@ class ResultStore:
         if not self.path.exists():
             return
         raw = self.path.read_bytes()
+        self._read_offset = len(raw)
         # A writer that died mid-append leaves a trailing line without a
         # newline; if that line parses it is a complete entry, otherwise it
         # is skipped below like any other corrupt line.  Either way, the
@@ -158,6 +162,53 @@ class ResultStore:
             # Last write wins: a re-recorded point supersedes older entries.
             self._entries[key] = payload
             self.loaded += 1
+
+    def refresh(self) -> int:
+        """Pick up entries appended by other processes since the last read.
+
+        The store reads its file once at open time; concurrent writers
+        (parallel shards, distributed workers) only ever *append*, so
+        catching up means parsing the bytes past the last read offset.
+        Returns the number of usable entries added or superseded.  A
+        trailing chunk without a newline — a writer mid-append, or a torn
+        write from a killed one — is left unconsumed: it is either still
+        being written (complete on the next refresh) or permanently torn
+        (the next writer starts a fresh line, turning it into a complete,
+        corrupt, skipped line).
+
+        Own appends are replayed harmlessly (same key, same payload); only
+        genuinely new keys change what :meth:`get`/:meth:`contains` answer.
+        """
+        if not self.path.exists():
+            return 0
+        with open(self.path, "rb") as handle:
+            handle.seek(self._read_offset)
+            raw = handle.read()
+        if not raw:
+            return 0
+        # Only newline-terminated lines are consumed; the offset never
+        # advances past an unterminated tail.
+        complete, newline, tail = raw.rpartition(b"\n")
+        if not newline:
+            return 0
+        self._read_offset += len(complete) + 1
+        # An unterminated tail is a torn write from a crashed writer (or a
+        # writer mid-append): keep the next own append starting on a fresh
+        # line so it cannot be swallowed by the torn bytes.
+        self._needs_leading_newline = bool(tail)
+        fresh = 0
+        for line in complete.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            entry = self._parse_entry(line)
+            if entry is None:
+                self.corrupt_entries += 1
+                continue
+            key, payload = entry
+            self._entries[key] = payload
+            self.loaded += 1
+            fresh += 1
+        return fresh
 
     @staticmethod
     def _parse_entry(line: str) -> tuple[tuple[str, str, int], dict] | None:
@@ -213,6 +264,25 @@ class ResultStore:
         key = (fingerprint, canonical_point_json(point), self.metric_version)
         return key in self._entries
 
+    def missing_points(
+        self, fingerprint: str, points: Iterable[tuple[int, dict]]
+    ) -> list[tuple[int, dict]]:
+        """The subset of ``(index, point)`` pairs the store does not hold.
+
+        The lease-aware coverage probe of the distributed service: a
+        coordinator verifies a leased range really committed before marking
+        it done, and a worker resuming an interrupted lease learns which
+        points the dead worker's appends already cover — without touching
+        the hit/miss counters (pair with :meth:`refresh` to see appends from
+        other processes first).
+        """
+        return [
+            (index, point)
+            for index, point in points
+            if (fingerprint, canonical_point_json(point), self.metric_version)
+            not in self._entries
+        ]
+
     def put(
         self,
         fingerprint: str,
@@ -246,7 +316,12 @@ class ResultStore:
         }
         if spec_hash:
             entry["spec_hash"] = spec_hash
-        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        # Insertion order is preserved on purpose: the record payload keeps
+        # the evaluator's parameter order, so a record read back in another
+        # process serialises byte-identically to the one the evaluator held
+        # (lookups never depend on this — keys go through
+        # canonical_point_json, which sorts).
+        line = json.dumps(entry, separators=(",", ":"))
         self._append((line + "\n").encode("utf-8"))
         return True
 

@@ -1,0 +1,31 @@
+"""Distributed exploration service (ROADMAP item 1).
+
+One coordinator leases contiguous enumeration ranges to elastic worker
+processes over a length-prefixed JSON socket protocol; results flow
+through the shared :class:`~repro.core.store.ResultStore` and the final
+artefact is byte-identical to the single-host exhaustive run — including
+through worker crashes, expired leases and torn store writes (the
+fault-injection suite in ``tests/test_distrib_cluster.py`` proves it).
+
+* :mod:`repro.distrib.protocol` — message framing;
+* :mod:`repro.distrib.coordinator` — lease bookkeeping, fault recovery,
+  final assembly (the message types are documented there);
+* :mod:`repro.distrib.worker` — the evaluation loop.
+"""
+
+from .coordinator import Coordinator, DistribError, serve_experiment
+from .protocol import MessageBuffer, ProtocolError, recv_message, send_message
+from .worker import Worker, parse_address, run_worker
+
+__all__ = [
+    "Coordinator",
+    "DistribError",
+    "MessageBuffer",
+    "ProtocolError",
+    "Worker",
+    "parse_address",
+    "recv_message",
+    "run_worker",
+    "send_message",
+    "serve_experiment",
+]

@@ -1,0 +1,148 @@
+"""Length-prefixed JSON message framing for the distributed service.
+
+The coordinator and its workers speak the simplest protocol that is still
+robust over a byte stream: every message is one JSON object encoded as
+UTF-8, preceded by a 4-byte big-endian length.  The framing gives message
+boundaries (a TCP stream has none), the JSON gives self-describing
+payloads, and the length prefix lets the receiver reject garbage before
+parsing it.
+
+Two consumption styles share the same wire format:
+
+* :func:`send_message` / :func:`recv_message` — blocking calls over a
+  connected socket, used by the worker's strict request/response loop;
+* :class:`MessageBuffer` — an incremental decoder fed raw ``recv`` bytes,
+  used by the coordinator's single-threaded ``selectors`` event loop where
+  reads arrive in arbitrary chunks.
+
+Message *types* (the ``type`` key every message carries) are documented on
+:mod:`repro.distrib.coordinator`; this module is deliberately ignorant of
+them — it moves dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+#: Frame header: payload byte count, 4-byte big-endian unsigned.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one message's payload.  Control messages are tiny; a
+#: length beyond this means a desynchronised or hostile peer, and is
+#: rejected before any allocation is attempted.
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A peer sent bytes that cannot be a protocol message."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One message as its complete wire form (header + JSON payload)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable message payload: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one message to a connected socket (blocking, complete)."""
+    sock.sendall(encode_message(message))
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one message from a connected socket (blocking).
+
+    Returns ``None`` on a clean end-of-stream *before* any header byte;
+    a stream that dies mid-frame raises :class:`ProtocolError` — the peer
+    crashed mid-send and the remainder can never be parsed.
+    """
+    header = _recv_exactly(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte message (limit {MAX_MESSAGE_BYTES})"
+        )
+    payload = _recv_exactly(sock, length, allow_eof=False)
+    assert payload is not None
+    return _decode_payload(payload)
+
+
+def _recv_exactly(
+    sock: socket.socket, count: int, allow_eof: bool
+) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and not chunks:
+                return None
+            raise ProtocolError(
+                f"stream ended {remaining} bytes short of a complete frame"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class MessageBuffer:
+    """Incremental frame decoder for non-blocking reads.
+
+    Feed it whatever ``recv`` returned; take complete messages out as they
+    become available.  Partial frames stay buffered across feeds, so the
+    caller never deals with message boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append raw stream bytes received from the peer."""
+        self._buffer.extend(data)
+
+    def take(self) -> list[dict]:
+        """All complete messages decodable from the buffered bytes, in order.
+
+        Raises :class:`ProtocolError` on an oversized or undecodable frame;
+        the connection is unusable afterwards (framing is lost) and should
+        be closed by the caller.
+        """
+        messages: list[dict] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            (length,) = _HEADER.unpack(self._buffer[: _HEADER.size])
+            if length > MAX_MESSAGE_BYTES:
+                raise ProtocolError(
+                    f"peer announced a {length}-byte message "
+                    f"(limit {MAX_MESSAGE_BYTES})"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_HEADER.size : end])
+            del self._buffer[:end]
+            messages.append(_decode_payload(payload))
+
+    def __len__(self) -> int:
+        return len(self._buffer)

@@ -32,6 +32,7 @@ DOC_FILES = [
     REPO / "docs" / "api.md",
     REPO / "docs" / "architecture.md",
     REPO / "docs" / "cli.md",
+    REPO / "docs" / "distributed.md",
     REPO / "docs" / "exploring.md",
     REPO / "docs" / "performance.md",
 ]
@@ -184,6 +185,21 @@ class TestApiDocRuns:
         assert run_line("dmexplore list") == 0
         output = capsys.readouterr().out
         assert "strategies:" in output
+
+
+class TestDistributedDocRuns:
+    def test_distributed_python_blocks_run_verbatim(self, tmp_path, monkeypatch):
+        """The embedded-cluster example of docs/distributed.md, executed.
+
+        The block runs a real coordinator (thread) and worker, then asserts
+        its own promise: the distributed artefact is byte-identical to the
+        single-host run.
+        """
+        monkeypatch.chdir(tmp_path)
+        blocks = fenced_blocks(REPO / "docs" / "distributed.md", "python")
+        assert blocks, "distributed.md should contain a runnable example"
+        for block in blocks:
+            exec(compile(block, "distributed.md", "exec"), {})
 
 
 class TestTutorialRuns:
