@@ -29,6 +29,49 @@ bench-eval:
 bench-eval-full:
 	BENCH_EVAL_FULL=1 $(RUN) -m pytest benchmarks/test_eval_speed.py -q -s
 
+# Store benchmark: jsonl vs binary append/load/query, O(tail) refresh and
+# compaction shrink; writes BENCH_store.json (quick mode: 10^4 entries).
+bench-store:
+	$(RUN) -m pytest benchmarks/test_store_scale.py -q -s
+
+# Same, at the dedicated 10^5-entry size with the load-speedup target
+# asserted — the run that produces the BENCH_store.json committed to the
+# repository.
+bench-store-full:
+	BENCH_STORE_FULL=1 $(RUN) -m pytest benchmarks/test_store_scale.py -q -s
+
+# Store-format verification: the same exploration run against a jsonl and a
+# binary store must produce byte-identical artefacts, cold and warm, across
+# a conversion round trip and across compaction.  CI runs the same flow.
+STORE_DIR := .store-demo
+verify-store:
+	rm -rf $(STORE_DIR) && mkdir -p $(STORE_DIR)
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --store $(STORE_DIR)/store.jsonl --out $(STORE_DIR)/jsonl-cold.json
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --store $(STORE_DIR)/store.bin --store-format binary \
+	  --out $(STORE_DIR)/binary-cold.json
+	cmp $(STORE_DIR)/jsonl-cold.json $(STORE_DIR)/binary-cold.json
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --store $(STORE_DIR)/store.jsonl --out $(STORE_DIR)/jsonl-warm.json
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --store $(STORE_DIR)/store.bin --store-format binary \
+	  --out $(STORE_DIR)/binary-warm.json
+	cmp $(STORE_DIR)/jsonl-warm.json $(STORE_DIR)/binary-warm.json
+	$(RUN) -m repro store convert $(STORE_DIR)/store.jsonl \
+	  $(STORE_DIR)/converted.bin --format binary
+	$(RUN) -m repro store convert $(STORE_DIR)/converted.bin \
+	  $(STORE_DIR)/roundtrip.jsonl --format jsonl
+	cmp $(STORE_DIR)/store.jsonl $(STORE_DIR)/roundtrip.jsonl
+	$(RUN) -m repro store compact $(STORE_DIR)/store.bin
+	$(RUN) -m repro store info $(STORE_DIR)/store.bin
+	$(RUN) -m repro explore --workload uniform --space smoke --seed 1 \
+	  --store $(STORE_DIR)/store.bin --store-format binary \
+	  --out $(STORE_DIR)/binary-compacted.json
+	cmp $(STORE_DIR)/binary-warm.json $(STORE_DIR)/binary-compacted.json
+	@echo "jsonl and binary stores produce byte-identical artefacts, across conversion and compaction"
+	rm -rf $(STORE_DIR)
+
 # Distributed-story verification: three shard runs, merged, must reproduce
 # the single-run exhaustive database byte-identically.  CI runs the same
 # flow with the shards on separate matrix workers.
@@ -80,4 +123,4 @@ verify-spec:
 	@echo "spec-driven runs reproduce the flag invocations byte-identically"
 	rm -rf $(SPEC_DIR)
 
-.PHONY: verify bench bench-eval bench-eval-full verify-docs verify-bench verify-shards verify-cluster verify-spec
+.PHONY: verify bench bench-eval bench-eval-full bench-store bench-store-full verify-docs verify-bench verify-shards verify-cluster verify-spec verify-store

@@ -194,6 +194,11 @@ def test_replay_loop_speedup(benchmark, request):
 
     speedup_seed = seed_seconds / fast_seconds
     speedup_legacy = legacy_seconds / fast_seconds
+    dedicated = request.config.getoption("--benchmark-only", default=False)
+    # Dedicated runs must clear the acceptance target.  Quick runs execute
+    # on shared CI runners where wall-clock ratios can wobble, so they only
+    # sanity-check the direction and *record* the ratio in BENCH_eval.json.
+    floor = TARGET_SPEEDUP_VS_SEED if dedicated else 1.5
     _RESULTS["replay"] = {
         "events": events,
         "seed_events_per_s": round(events / seed_seconds),
@@ -202,6 +207,12 @@ def test_replay_loop_speedup(benchmark, request):
         "speedup_vs_seed": round(speedup_seed, 2),
         "speedup_vs_legacy": round(speedup_legacy, 2),
         "target_vs_seed": TARGET_SPEEDUP_VS_SEED,
+        # The floor this run was actually held to: the full target in
+        # dedicated benchmark runs, a direction check in quick/CI runs —
+        # so a quick-mode ratio below the headline target is not a
+        # regression as long as it clears targets[mode].
+        "targets": {"dedicated": TARGET_SPEEDUP_VS_SEED, "quick": 1.5},
+        "target_this_mode": floor,
         "identical_metrics": True,
     }
     print_table(
@@ -216,11 +227,6 @@ def test_replay_loop_speedup(benchmark, request):
         ],
         ("quantity", "measured", "note"),
     )
-    dedicated = request.config.getoption("--benchmark-only", default=False)
-    # Dedicated runs must clear the acceptance target.  Quick runs execute
-    # on shared CI runners where wall-clock ratios can wobble, so they only
-    # sanity-check the direction and *record* the ratio in BENCH_eval.json.
-    floor = TARGET_SPEEDUP_VS_SEED if dedicated else 1.5
     assert speedup_seed >= floor, (
         f"fast path is only x{speedup_seed:.2f} over the seed replay "
         f"(target x{floor})"
@@ -351,6 +357,12 @@ def test_batched_sweep_speedup(benchmark, request):
         "batched_events_per_s": round(events * points / batched_seconds),
         "speedup_vs_single_fast": round(speedup, 2),
         "target_speedup": TARGET_BATCHED_SPEEDUP,
+        # Per-mode floors: quick runs only direction-check (see the replay
+        # section); compare speedup_vs_single_fast against targets[mode].
+        "targets": {"dedicated": TARGET_BATCHED_SPEEDUP, "quick": 1.5},
+        "target_this_mode": (
+            TARGET_BATCHED_SPEEDUP if dedicated else 1.5
+        ),
         "identical_metrics": identical,
         "batched_configurations": engine.batched_configurations,
         "fallback_configurations": engine.fallback_configurations,

@@ -27,7 +27,7 @@ from typing import Any
 
 from ..core.exploration import ExplorationEngine, ExplorationSettings, ShardSpec
 from ..core.results import Provenance, ResultDatabase
-from ..core.store import ResultStore, StoreError, default_store_path
+from ..core.store import ResultStore, StoreError
 from ..memhier.energy import EnergyModel
 from ..profiling.metrics import metric_keys
 from . import registry
@@ -164,6 +164,10 @@ class Experiment:
             store=store,
         )
         engine.spec_hash = spec.spec_hash()
+        # Observability sinks (the live dashboard) can watch the engine's
+        # memo/store counters while the sweep runs.
+        if sink is not None and hasattr(sink, "attach_engine"):
+            sink.attach_engine(engine)
         return ResolvedExperiment(
             spec=spec,
             workload=workload,
@@ -188,11 +192,10 @@ class Experiment:
 
     def _open_store(self) -> ResultStore | None:
         spec = self.spec
-        if spec.store.name == "none":
-            return None
-        path = spec.store.params.get("path") or default_store_path()
         try:
-            return ResultStore(path)
+            return registry.stores.create(spec.store.name, spec.store.params)
+        except registry.RegistryError as error:
+            raise SpecError(f"store: {error}") from None
         except (StoreError, OSError) as error:
             raise SpecError(f"store.params.path: cannot open result store: {error}") from None
 
@@ -232,6 +235,8 @@ class Experiment:
             resolved.engine.close()
             if resolved.store is not None:
                 resolved.store.close()
+            if resolved.sink is not None and hasattr(resolved.sink, "finish"):
+                resolved.sink.finish()
             # The engine and store are spent; a re-run must re-resolve.
             self._resolved = None
         return RunResult(

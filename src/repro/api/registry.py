@@ -38,6 +38,10 @@ Registries
 ``sinks``
     ``factory(metrics, **params) -> ResultSink | None`` (``metrics`` is the
     experiment's metric selection; return ``None`` for "no sink").
+``stores``
+    ``factory(**params) -> ResultStore | None`` — the persistent L2 result
+    store behind the engine's memoisation cache.  Built-ins: ``none``,
+    ``jsonl`` and ``binary`` (params: ``path``, ``auto_compact``).
 
 Entry ``defaults`` are the params applied when the spec gives none; spec
 params override them key by key.  Descriptions default to the first line
@@ -250,6 +254,10 @@ def search_strategy_factory(cls: type[SearchStrategy]) -> Callable:
             )
         except (TypeError, ValueError) as error:
             raise RegistryError(f"strategy '{cls.name}': {error}") from None
+        # Observability sinks (the live dashboard) can watch the strategy's
+        # prune counters while the search runs.
+        if sink is not None and hasattr(sink, "attach_strategy"):
+            sink.attach_strategy(strategy)
         return strategy.run(sink=sink)
 
     run_strategy.__doc__ = _docstring_summary(cls)
@@ -277,6 +285,7 @@ hierarchies = Registry("hierarchy")
 strategies = Registry("strategy")
 backends = Registry("backend")
 sinks = Registry("sink")
+stores = Registry("store")
 #: Roles of the distributed service (``dmexplore serve``/``worker``); the
 #: factories build :class:`repro.distrib.Coordinator`/``Worker`` objects.
 services = Registry("service")
@@ -378,6 +387,60 @@ def _populate() -> None:
         "pareto",
         _pareto_sink,
         description="live incremental Pareto front over the produced records",
+    )
+
+    def _dashboard_sink(metrics=None, interval=0.5):
+        from ..gui.live import LiveDashboardSink
+
+        return LiveDashboardSink(metrics=metrics, interval=interval)
+
+    sinks.register(
+        "dashboard",
+        _dashboard_sink,
+        description="live terminal dashboard: front size, metric ranges, "
+        "prune/memo/store counters, eval rate (params: interval)",
+    )
+
+    # The store factories import repro.core.store lazily for symmetry with
+    # the services (and to keep this module import-light).
+    def _no_store(path=None, auto_compact=None):
+        """No persistent result store (every run profiles cold)."""
+        return None
+
+    def _jsonl_store(path=None, auto_compact=None):
+        from ..core.store import ResultStore, default_store_path
+
+        return ResultStore(
+            path or default_store_path("jsonl"),
+            format="jsonl",
+            auto_compact=auto_compact,
+        )
+
+    def _binary_store(path=None, auto_compact=None):
+        from ..core.store import ResultStore, default_store_path
+
+        return ResultStore(
+            path or default_store_path("binary"),
+            format="binary",
+            auto_compact=auto_compact,
+        )
+
+    stores.register(
+        "none",
+        _no_store,
+        description="no persistent result store (every run profiles cold)",
+    )
+    stores.register(
+        "jsonl",
+        _jsonl_store,
+        description="append-only JSON-lines store, text-tool friendly "
+        "(params: path, auto_compact)",
+    )
+    stores.register(
+        "binary",
+        _binary_store,
+        description="framed binary store, parse-free loads at scale "
+        "(params: path, auto_compact)",
     )
 
     # The service factories import repro.distrib lazily: distrib builds on

@@ -49,10 +49,12 @@ SPEC_VERSION = 1
 #: publication year, as it always was on the CLI.
 DEFAULT_SEED = 2006
 
-#: Store backends an experiment may name (``jsonl`` is the append-only
-#: JSON-lines :class:`~repro.core.store.ResultStore`; path ``None`` means
-#: the shared per-user default under ``~/.cache/dmexplore``).
-STORE_KINDS = ("none", "jsonl")
+#: Store backends an experiment may name (kept for compatibility; the open
+#: set lives in :data:`repro.api.registry.stores`).  ``jsonl`` and
+#: ``binary`` are the two formats of :class:`~repro.core.store.
+#: ResultStore`; path ``None`` means the shared per-user default under
+#: ``~/.cache/dmexplore``.
+STORE_KINDS = ("none", "jsonl", "binary")
 
 #: Energy models an experiment may name.  There is exactly one analytic
 #: model today; its constants are the ref's params.
@@ -382,17 +384,26 @@ class ExperimentSpec:
                 f"energy.params: unknown parameter '{sorted(unknown)[0]}' "
                 f"(known: {', '.join(sorted(model_fields))})"
             )
-        if self.store.name not in STORE_KINDS:
+        if self.store.name not in registry.stores:
             raise SpecError(
                 f"store.name: unknown store kind '{self.store.name}' "
-                f"(known: {', '.join(STORE_KINDS)})"
+                f"(known: {', '.join(registry.stores.names())})"
             )
-        unknown = set(self.store.params) - {"path"}
-        if unknown:
-            raise SpecError(
-                f"store.params: unknown parameter '{sorted(unknown)[0]}' "
-                "(known: path)"
-            )
+        try:
+            registry.stores.check_params(self.store.name, self.store.params)
+        except registry.RegistryError as error:
+            raise SpecError(f"store.params: {error}") from None
+        if "auto_compact" in self.store.params:
+            threshold = self.store.params["auto_compact"]
+            if threshold is not None and (
+                isinstance(threshold, bool)
+                or not isinstance(threshold, int)
+                or threshold < 1
+            ):
+                raise SpecError(
+                    "store.params.auto_compact: expected a positive integer "
+                    f"(dead entries before compaction), got {threshold!r}"
+                )
         if self.serve.name not in SERVE_KINDS:
             raise SpecError(
                 f"serve.name: unknown serve transport '{self.serve.name}' "
@@ -523,7 +534,8 @@ def default_spec_document() -> dict:
         "strategy": spec.strategy.as_dict(),
         "//backend": f"registry: {', '.join(registry.backends.names())}",
         "backend": spec.backend.as_dict(),
-        "//store": "'jsonl' persists evaluations (params.path; null = ~/.cache)",
+        "//store": "'jsonl'/'binary' persist evaluations "
+        "(params: path, auto_compact; null path = ~/.cache)",
         "store": spec.store.as_dict(),
         "//sink": f"registry: {', '.join(registry.sinks.names())}",
         "sink": spec.sink.as_dict(),

@@ -78,6 +78,7 @@ LIST_KINDS = {
     "strategies": registry.strategies,
     "backends": registry.backends,
     "sinks": registry.sinks,
+    "stores": registry.stores,
     "services": registry.services,
 }
 
@@ -196,9 +197,19 @@ def build_parser() -> argparse.ArgumentParser:
         const=None,
         default=argparse.SUPPRESS,
         help=(
-            "persist evaluated points in a JSON-lines result store and reuse "
-            "them on later runs; without PATH the store lives under ~/.cache/"
+            "persist evaluated points in a result store and reuse them on "
+            "later runs; without PATH the store lives under ~/.cache/"
             "dmexplore"
+        ),
+    )
+    explore_parser.add_argument(
+        "--store-format",
+        choices=("jsonl", "binary"),
+        default="jsonl",
+        help=(
+            "on-disk format of the --store file: 'jsonl' (text-tool "
+            "friendly) or 'binary' (parse-free loads at scale); an existing "
+            "store keeps its format"
         ),
     )
     explore_parser.add_argument(
@@ -377,7 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "shared result store path workers commit to (default: the spec's "
-            "jsonl store path, else ~/.cache/dmexplore)"
+            "store path, else ~/.cache/dmexplore; the spec's store kind "
+            "decides the jsonl/binary format)"
         ),
     )
     serve_parser.add_argument("--out", type=Path, default=Path("exploration.json"))
@@ -402,6 +414,46 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="worker identity in coordinator logs (default: worker-<pid>)",
     )
+
+    store_parser = subparsers.add_parser(
+        "store", help="maintain result store files (compact, convert, info)"
+    )
+    store_subparsers = store_parser.add_subparsers(
+        dest="store_command", required=True, metavar="ACTION"
+    )
+    compact_parser = store_subparsers.add_parser(
+        "compact",
+        help=(
+            "rewrite a store down to its live (last-write-wins) set, "
+            "atomically and provenance-preservingly"
+        ),
+    )
+    compact_parser.add_argument("path", type=Path, help="store file to compact")
+    compact_parser.add_argument(
+        "--format",
+        choices=("jsonl", "binary"),
+        default=None,
+        help="also re-encode into this format while compacting",
+    )
+    convert_parser = store_subparsers.add_parser(
+        "convert",
+        help=(
+            "rewrite a store into another format at a new path, keeping "
+            "every entry in file order"
+        ),
+    )
+    convert_parser.add_argument("source", type=Path, help="store file to read")
+    convert_parser.add_argument("destination", type=Path, help="store file to write")
+    convert_parser.add_argument(
+        "--format",
+        choices=("jsonl", "binary"),
+        required=True,
+        help="format of the destination store",
+    )
+    info_parser = store_subparsers.add_parser(
+        "info", help="print a store's format, size and entry counts"
+    )
+    info_parser.add_argument("path", type=Path, help="store file to inspect")
 
     trace_parser = subparsers.add_parser("trace", help="generate and save a workload trace")
     trace_parser.add_argument(
@@ -428,7 +480,8 @@ def _spec_from_explore_args(args: argparse.Namespace) -> ExperimentSpec:
         backend = ComponentRef("process", {"jobs": args.jobs})
     if hasattr(args, "store"):  # --store given (with or without a path)
         store = ComponentRef(
-            "jsonl", {"path": str(args.store)} if args.store is not None else {}
+            getattr(args, "store_format", "jsonl"),
+            {"path": str(args.store)} if args.store is not None else {},
         )
     else:
         store = ComponentRef("none")
@@ -699,6 +752,41 @@ def _command_worker(args: argparse.Namespace) -> int:
     return run_worker(address, spec_hash=spec_hash, name=args.name)
 
 
+def _command_store(args: argparse.Namespace) -> int:
+    from .core.store import compact_store, convert_store, store_info
+
+    try:
+        if args.store_command == "compact":
+            stats = compact_store(args.path, output_format=args.format)
+            print(
+                f"compacted {stats['path']} ({stats['format']}): "
+                f"{stats['live']} live of {stats['entries']} entries "
+                f"({stats['dead']} dead, {stats['corrupt']} corrupt), "
+                f"{stats['bytes_before']} -> {stats['bytes_after']} bytes"
+            )
+        elif args.store_command == "convert":
+            stats = convert_store(args.source, args.destination, args.format)
+            print(
+                f"converted {stats['source']} ({stats['source_format']}) -> "
+                f"{stats['path']} ({stats['format']}): "
+                f"{stats['entries']} entries ({stats['corrupt']} corrupt), "
+                f"{stats['bytes_before']} -> {stats['bytes_after']} bytes"
+            )
+        else:  # info
+            stats = store_info(args.path)
+            print(f"path:    {stats['path']}")
+            print(f"format:  {stats['format']}")
+            print(f"size:    {stats['size_bytes']} bytes")
+            print(f"entries: {stats['entries']}")
+            print(f"live:    {stats['live']}")
+            print(f"dead:    {stats['dead']}")
+            print(f"corrupt: {stats['corrupt']}")
+    except (StoreError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     workload = registry.workloads.create(args.workload)
     trace = workload.generate(seed=args.seed)
@@ -726,6 +814,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _command_report,
         "serve": _command_serve,
         "worker": _command_worker,
+        "store": _command_store,
         "trace": _command_trace,
     }
     return commands[args.command](args)

@@ -1,16 +1,27 @@
-"""Persistent result store (L2) and result-artefact merging.
+"""Persistent result store (L2), store formats, compaction and merging.
 
 The in-memory memoisation cache of :class:`~repro.core.exploration.
 ExplorationEngine` dies with the process; re-running an exploration over the
 same workload re-profiles every configuration from scratch.  This module
 makes repeated explorations incremental:
 
-* :class:`ResultStore` is an on-disk, append-only JSON-lines store of
-  evaluated points, keyed by ``(evaluation fingerprint, canonical parameter
-  point, metric version)``.  The engine consults it on every in-memory cache
+* :class:`ResultStore` is an on-disk, append-only store of evaluated
+  points, keyed by ``(evaluation fingerprint, canonical parameter point,
+  metric version)``.  The engine consults it on every in-memory cache
   miss — the memoisation cache is the L1 over this L2 — and writes every
   fresh evaluation back, so a second run over the same trace performs zero
   fresh profiler evaluations.
+* :class:`StoreFormat` is the seam between the store's key/value semantics
+  and its on-disk representation.  Two formats ship: ``jsonl`` (one
+  self-describing JSON entry per line, inspectable with text tools) and
+  ``binary`` (fixed-width frame headers carrying a length, a CRC and a
+  32-byte key digest in front of the same JSON payload, loadable without
+  parsing a single payload).  Both serialise every entry payload
+  identically, which is what keeps assembled exploration artefacts
+  byte-identical across formats.
+* :func:`compact_store` rewrites a store down to its live (last-write-wins)
+  set with an atomic replace — provenance-preserving, and safe against
+  concurrent appenders, which re-attach to the replacement file.
 * :func:`merge_databases` unions the :class:`~repro.core.results.
   ResultDatabase` artefacts written by independent (typically sharded)
   exploration runs into one database, after validating that the artefacts
@@ -19,28 +30,51 @@ makes repeated explorations incremental:
   exhaustive exploration.
 
 Reading back at scale is a streaming concern: :class:`StoreRecordSource`
-replays a store file as an ordered record stream — an offset index decides
-which line wins per key, then records are parsed one at a time — so
-``dmexplore report --store`` serves the full 19 440-point space without
-ever materialising the record list.
+replays a store file of either format as an ordered record stream — an
+offset index decides which entry wins per key, then records are parsed one
+at a time — so ``dmexplore report --store`` serves the full 19 440-point
+space without ever materialising the record list.
 
 Design notes
 ------------
 
-The store is a flat JSON-lines file (one self-describing entry per line)
-rather than SQLite: entries are append-only, the whole store is loaded into
-a dict at open time anyway, a partially written trailing line (crash,
-``kill -9``, full disk) is recoverable by simply skipping it, and the file
-can be inspected/filtered with standard text tools.
+The ``jsonl`` format is a flat JSON-lines file (one self-describing entry
+per line): entries are append-only, a partially written trailing line
+(crash, ``kill -9``, full disk) is recoverable by simply skipping it, and
+the file can be inspected/filtered with standard text tools.  Its load
+cost is a JSON parse per entry.
 
-Concurrent writers on one host are safe: every entry is appended as a
-single ``write()`` on an ``O_APPEND`` descriptor (the kernel serialises the
-positioning) under an advisory ``fcntl`` lock (which additionally rules out
-interleaving on the rare short-write path), so parallel shards may share
-one store file.  Two writers that race to profile the same point simply
-append the same key twice — last write wins at load time, exactly like a
-re-recorded entry.  Writers do not *see* each other's appends until they
-reopen the file; they only ever duplicate work, never corrupt it.
+The ``binary`` format trades inspectability for load speed: a 16-byte file
+header, then one frame per entry — a fixed-width 42-byte frame header
+(marker, payload length, payload CRC-32, SHA-256 key digest) followed by
+the exact bytes the ``jsonl`` format would have written as the line.
+Opening a binary store walks the fixed-width headers and checksums the
+payloads without JSON-parsing any of them (the whole file is ``mmap``-ed
+for the initial walk); payloads are parsed lazily on first :meth:`~
+ResultStore.get` of their key.  Because JSON payloads are pure ASCII
+(``json.dumps`` escapes everything else), the two marker bytes (values
+``>= 0x80``) can never occur inside a payload, so a reader that lands in
+torn bytes resynchronises by scanning to the next marker and letting the
+CRC arbitrate.
+
+Concurrent writers on one host are safe in both formats: every entry is
+appended as a single ``write()`` on an ``O_APPEND`` descriptor (the kernel
+serialises the positioning) under an advisory ``fcntl`` lock (which
+additionally rules out interleaving on the rare short-write path), so
+parallel shards may share one store file.  Two writers that race to
+profile the same point simply append the same key twice — last write wins
+at load time, exactly like a re-recorded entry.  Writers do not *see*
+each other's appends until they :meth:`~ResultStore.refresh`; they only
+ever duplicate work, never corrupt it.  Refresh is O(appended tail), not
+O(history): the store tracks the byte offset it has consumed and parses
+only what lies beyond it.
+
+Compaction (:func:`compact_store`, ``dmexplore store compact``) removes
+the superseded duplicates that last-write-wins accumulates.  It rewrites
+under the same advisory append lock and atomically replaces the file;
+every :class:`ResultStore` re-checks, after taking the lock, that its
+descriptor still belongs to the file at its path, and re-attaches when
+not, so appends never land in the unlinked pre-compaction inode.
 
 :data:`METRIC_VERSION` is part of every key: bump it whenever the profiler
 or the metric definitions change semantically, and every stale entry is
@@ -49,9 +83,13 @@ ignored (not deleted — rolling back the code revalidates them).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import mmap
 import os
-from collections.abc import Iterable, Iterator
+import struct
+import zlib
+from collections.abc import Callable, Iterable, Iterator
 from pathlib import Path
 
 from .parameters import ParameterSpace
@@ -86,16 +124,347 @@ def canonical_point_json(point: dict) -> str:
     return json.dumps(point, sort_keys=True, separators=(",", ":"))
 
 
-def default_store_path() -> Path:
+def default_store_path(format: str = "jsonl") -> Path:
     """The ``--store``-without-a-path location: ``~/.cache/dmexplore``.
 
     Respects ``XDG_CACHE_HOME`` when set.  The file is shared by all runs on
     the machine; keys embed the evaluation fingerprint, so results from
-    different traces, hierarchies or spaces never collide.
+    different traces, hierarchies or spaces never collide.  Each format has
+    its own default file so a machine can keep both warm.
     """
     cache_home = os.environ.get("XDG_CACHE_HOME")
     base = Path(cache_home) if cache_home else Path.home() / ".cache"
-    return base / "dmexplore" / "results.jsonl"
+    filename = "results.bin" if format == "binary" else "results.jsonl"
+    return base / "dmexplore" / filename
+
+
+# -- entry payloads (shared by every format) ----------------------------------
+
+
+def _entry_from_dict(data: object) -> tuple[tuple[str, str, int], dict] | None:
+    """Validate one decoded store entry document.
+
+    Returns ``((fingerprint, canonical point JSON, metric version), entry)``
+    or ``None`` when the document is not a usable entry.  The record payload
+    is validated eagerly so a corrupt entry surfaces where it is read (and
+    is counted), not as a crash mid-exploration.
+    """
+    if not isinstance(data, dict):
+        return None
+    try:
+        fingerprint = data["fingerprint"]
+        point = data["point"]
+        version = int(data["metric_version"])
+        record = data["record"]
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not isinstance(fingerprint, str) or not isinstance(point, dict):
+        return None
+    try:
+        ExplorationRecord.from_dict(record)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return (fingerprint, canonical_point_json(point), version), data
+
+
+def _decode_entry(data: bytes | str) -> tuple[tuple[str, str, int], dict] | None:
+    """Decode one serialised entry (a JSONL line == a binary frame payload)."""
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        try:
+            text = bytes(data).decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+    else:
+        text = data
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return _entry_from_dict(parsed)
+
+
+# -- the format seam ----------------------------------------------------------
+
+
+class StoreFormat:
+    """One on-disk representation of the result store.
+
+    A format owns *framing* only: how serialised entries are laid out in
+    the file, how appended bytes are consumed incrementally, and how the
+    torn tail a crashed writer leaves behind is repaired.  The payload of
+    every format is the same compact JSON entry document — that invariant
+    is what keeps assembled artefacts byte-identical across formats, and
+    what makes conversion between formats a pure re-framing.
+    """
+
+    #: Registry name of the format (``jsonl`` / ``binary``).
+    name: str = ""
+    #: File header written once at offset 0 (empty for headerless formats).
+    header: bytes = b""
+    #: Bytes an appender writes before its entry when the previous file
+    #: tail was torn (the JSONL newline repair; empty when the format
+    #: repairs by truncation instead).
+    repair: bytes = b""
+
+    def entry_key(self, fingerprint: str, point_json: str, version: int) -> object:
+        """The in-memory dict key this format indexes entries under."""
+        raise NotImplementedError
+
+    def encode_entry(self, entry: dict) -> bytes:
+        """Serialise one full entry document into its on-disk framing."""
+        raise NotImplementedError
+
+    def consume(
+        self,
+        buffer: bytes | mmap.mmap,
+        start: int,
+        final: bool,
+        on_entry: Callable[[object, object], None],
+    ) -> tuple[int, int, bool]:
+        """Incrementally parse entries from ``buffer[start:]``.
+
+        Calls ``on_entry(key, value)`` per usable entry — ``value`` is the
+        record payload dict (jsonl) or a :class:`_FrameRef` to be parsed
+        lazily (binary), with offsets local to ``buffer``.  ``final`` marks
+        a full-file load, where an unterminated-but-parseable tail may be
+        consumed; a non-final refresh never consumes past the last complete
+        unit.  Returns ``(bytes consumed, corrupt units, tail pending)``.
+        """
+        raise NotImplementedError
+
+    def scan(self, buffer: bytes) -> Iterator[tuple[int, int, dict | None]]:
+        """Walk every framed unit of a complete store image.
+
+        Yields ``(payload offset, payload length, entry document)`` with the
+        document fully parsed and validated, or ``None`` for a corrupt unit.
+        This is the compaction / conversion / streaming-report path; unlike
+        :meth:`consume` it materialises each payload (one at a time).
+        """
+        raise NotImplementedError
+
+
+class JsonlStoreFormat(StoreFormat):
+    """One self-describing JSON entry per line; text-tool friendly."""
+
+    name = "jsonl"
+    header = b""
+    repair = b"\n"
+
+    def entry_key(self, fingerprint: str, point_json: str, version: int) -> object:
+        return (fingerprint, point_json, version)
+
+    def encode_entry(self, entry: dict) -> bytes:
+        # Insertion order is preserved on purpose: the record payload keeps
+        # the evaluator's parameter order, so a record read back in another
+        # process serialises byte-identically to the one the evaluator held
+        # (lookups never depend on this — keys go through
+        # canonical_point_json, which sorts).
+        return (json.dumps(entry, separators=(",", ":")) + "\n").encode("utf-8")
+
+    def consume(self, buffer, start, final, on_entry):
+        data = buffer[start:]
+        if final:
+            # A writer that died mid-append leaves a trailing line without a
+            # newline; if that line parses it is a complete entry, otherwise
+            # it is counted corrupt like any other bad line.  Either way the
+            # next append must start on a fresh line.
+            complete = data
+            consumed = len(data)
+            tail_pending = bool(data) and not data.endswith(b"\n")
+        else:
+            # Only newline-terminated lines are consumed; the offset never
+            # advances past an unterminated tail, which is either still
+            # being written (complete on the next refresh) or permanently
+            # torn (the next writer starts a fresh line, turning it into a
+            # complete, corrupt, skipped line).
+            complete, newline, tail = data.rpartition(b"\n")
+            if not newline:
+                return 0, 0, bool(data)
+            consumed = len(complete) + 1
+            tail_pending = bool(tail)
+        corrupt = 0
+        for line in complete.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            decoded = _decode_entry(line)
+            if decoded is None:
+                corrupt += 1
+                continue
+            (fingerprint, point_json, version), entry = decoded
+            on_entry((fingerprint, point_json, version), entry["record"])
+        return consumed, corrupt, tail_pending
+
+    def scan(self, buffer):
+        offset = 0
+        for raw in bytes(buffer).splitlines(keepends=True):
+            line_offset = offset
+            offset += len(raw)
+            line = raw.rstrip(b"\r\n")
+            if not line.strip():
+                continue
+            decoded = _decode_entry(line.decode("utf-8", errors="replace"))
+            yield line_offset, len(line), decoded[1] if decoded else None
+
+
+#: Magic prefix identifying a binary store file.
+_BINARY_MAGIC = b"DMXSTOR1"
+#: On-disk format revision, bumped on incompatible layout changes.
+_BINARY_VERSION = 1
+#: Frame boundary marker.  Both bytes are >= 0x80, which no ASCII JSON
+#: payload byte can be, so scanning for the marker resynchronises a reader
+#: that landed inside torn payload bytes.
+_FRAME_MARKER = b"\xd5\xaa"
+#: Fixed-width frame header: marker, payload length, payload CRC-32, and
+#: the SHA-256 digest of the entry key — the mmap-walkable column that lets
+#: a load index every fingerprint/point without parsing any payload.
+_FRAME = struct.Struct("<2sII32s")
+#: Upper bound on a single payload; a claimed length beyond this is treated
+#: as a torn header rather than honoured as a read size.
+_MAX_PAYLOAD = 1 << 24
+#: Minimum file size for which the initial binary load maps the file
+#: instead of reading it into one bytes object.
+_MMAP_THRESHOLD = 1 << 16
+
+
+def _key_digest(fingerprint: str, point_json: str, version: int) -> bytes:
+    """The fixed-width store key a binary frame header carries."""
+    material = f"{fingerprint}\x00{point_json}\x00{version}".encode("utf-8")
+    return hashlib.sha256(material).digest()
+
+
+class _FrameRef:
+    """Location of an on-disk binary frame payload, parsed on first use."""
+
+    __slots__ = ("offset", "length")
+
+    def __init__(self, offset: int, length: int) -> None:
+        self.offset = offset
+        self.length = length
+
+
+class BinaryStoreFormat(StoreFormat):
+    """Fixed-width frame headers over JSON payloads; parse-free loads."""
+
+    name = "binary"
+    header = _BINARY_MAGIC + struct.pack("<II", _BINARY_VERSION, 0)
+    repair = b""
+
+    def entry_key(self, fingerprint: str, point_json: str, version: int) -> object:
+        return _key_digest(fingerprint, point_json, version)
+
+    def encode_entry(self, entry: dict) -> bytes:
+        payload = json.dumps(entry, separators=(",", ":")).encode("utf-8")
+        digest = _key_digest(
+            entry["fingerprint"],
+            canonical_point_json(entry["point"]),
+            int(entry["metric_version"]),
+        )
+        head = _FRAME.pack(_FRAME_MARKER, len(payload), zlib.crc32(payload), digest)
+        return head + payload
+
+    def consume(self, buffer, start, final, on_entry):
+        end = len(buffer)
+        pos = start
+        corrupt = 0
+        while pos + _FRAME.size <= end:
+            marker, length, crc, digest = _FRAME.unpack_from(buffer, pos)
+            if marker != _FRAME_MARKER or length > _MAX_PAYLOAD:
+                # Torn bytes: resynchronise at the next marker and let the
+                # CRC arbitrate.  No marker ahead means the tail is either
+                # all torn or still being written — leave it pending (an
+                # appender repairs a permanent torn tail by truncation).
+                resync = buffer.find(_FRAME_MARKER, pos + 1, end)
+                if resync < 0:
+                    break
+                corrupt += 1
+                pos = resync
+                continue
+            payload_end = pos + _FRAME.size + length
+            if payload_end > end:
+                break  # incomplete frame: wait for the writer to finish
+            payload = bytes(buffer[pos + _FRAME.size : payload_end])
+            if zlib.crc32(payload) != crc:
+                corrupt += 1
+                resync = buffer.find(_FRAME_MARKER, pos + 1, end)
+                if resync < 0:
+                    break
+                pos = resync
+                continue
+            on_entry(bytes(digest), _FrameRef(pos + _FRAME.size, length))
+            pos = payload_end
+        return pos - start, corrupt, pos < end
+
+    def scan(self, buffer):
+        buffer = bytes(buffer)
+        end = len(buffer)
+        if end == 0:
+            return
+        if end < len(self.header) or buffer[: len(_BINARY_MAGIC)] != _BINARY_MAGIC:
+            raise StoreError("not a binary result store (bad or missing magic)")
+        pos = len(self.header)
+        while pos + _FRAME.size <= end:
+            marker, length, crc, _digest = _FRAME.unpack_from(buffer, pos)
+            bad_header = marker != _FRAME_MARKER or length > _MAX_PAYLOAD
+            payload_end = pos + _FRAME.size + length
+            if not bad_header and payload_end > end:
+                yield pos, 0, None  # torn tail frame
+                return
+            if bad_header or zlib.crc32(buffer[pos + _FRAME.size : payload_end]) != crc:
+                yield pos, 0, None
+                resync = buffer.find(_FRAME_MARKER, pos + 1, end)
+                if resync < 0:
+                    return
+                pos = resync
+                continue
+            payload = buffer[pos + _FRAME.size : payload_end]
+            decoded = _decode_entry(payload)
+            yield pos + _FRAME.size, length, decoded[1] if decoded else None
+            pos = payload_end
+
+
+#: The format registry the ``repro.api`` store registry builds on.
+STORE_FORMATS: dict[str, StoreFormat] = {
+    "jsonl": JsonlStoreFormat(),
+    "binary": BinaryStoreFormat(),
+}
+
+
+def _lookup_format(name: str) -> StoreFormat:
+    try:
+        return STORE_FORMATS[name]
+    except KeyError:
+        known = ", ".join(sorted(STORE_FORMATS))
+        raise StoreError(f"unknown store format '{name}' (known: {known})") from None
+
+
+def detect_format(path: str | Path) -> str | None:
+    """Sniff the store format of ``path`` from its magic.
+
+    Returns ``None`` for a missing or empty file (either format may be
+    grown there), ``"binary"`` when the binary magic is present, and
+    ``"jsonl"`` for any other non-empty file.
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_BINARY_MAGIC))
+    except (FileNotFoundError, IsADirectoryError, NotADirectoryError):
+        return None
+    if not head:
+        return None
+    return "binary" if head == _BINARY_MAGIC else "jsonl"
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - best effort
+        pass
+    finally:
+        os.close(fd)
 
 
 class ResultStore:
@@ -104,156 +473,282 @@ class ResultStore:
     Parameters
     ----------
     path:
-        The JSON-lines file to load from and append to.  Parent directories
+        The store file to load from and append to.  Parent directories
         are created; a missing file starts an empty store.
     metric_version:
         Key component isolating results across metric-semantics changes;
         entries recorded under a different version are invisible (but kept
         on disk).
+    format:
+        ``"jsonl"`` or ``"binary"``; ``None`` sniffs the existing file and
+        falls back to ``jsonl`` for a fresh path.  Opening an existing
+        store under the wrong format is an error, not a rewrite.
+    auto_compact:
+        When the file carries at least this many dead (superseded) entries
+        at open time, it is compacted in place before use.
 
     Counters
     --------
     ``hits`` / ``misses``
         :meth:`get` outcomes since the store was opened.
     ``loaded``
-        Usable entries read from disk at open time (all versions).
+        Usable entries read from disk (all versions; reset by compaction).
     ``corrupt_entries``
-        Lines skipped at open time because they were truncated or
-        malformed — the recovery path for a crashed writer.
+        Units skipped because they were truncated or malformed — the
+        recovery path for a crashed writer.
+    ``dead_entries``
+        Loaded entries that superseded an already-loaded key (the waste
+        compaction reclaims).
+    ``bytes_consumed``
+        Total bytes parsed from disk; :meth:`refresh` adds only the
+        appended tail, never the history.
     """
 
-    def __init__(self, path: str | Path, metric_version: int = METRIC_VERSION) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        metric_version: int = METRIC_VERSION,
+        format: str | None = None,
+        auto_compact: int | None = None,
+    ) -> None:
         self.path = Path(path)
         self.metric_version = metric_version
+        if format is not None:
+            _lookup_format(format)
+        if auto_compact is not None and auto_compact < 1:
+            raise StoreError("auto_compact must be a positive number of dead entries")
+        self.auto_compact = auto_compact
         self.hits = 0
         self.misses = 0
         self.loaded = 0
         self.corrupt_entries = 0
-        self._entries: dict[tuple[str, str, int], dict] = {}
+        self.dead_entries = 0
+        self.bytes_consumed = 0
+        self._entries: dict[object, object] = {}
         self._fd: int | None = None
+        self._read_fd: int | None = None
         self._needs_leading_newline = False
         # How far into the file the entries have been read; refresh() picks
         # up appends from concurrent writers beyond this offset.
         self._read_offset = 0
+        # Inode the offsets describe; compaction replaces the file, and a
+        # changed inode tells refresh() to re-consume from the top.
+        self._ino: int | None = None
+        # (clean end, observed size) of a torn binary tail awaiting
+        # truncation by the next append (see _append).
+        self._pending_repair: tuple[int, int] | None = None
+        if self.path.exists() and self.path.is_dir():
+            raise StoreError(f"store path {self.path} is a directory")
+        detected = detect_format(self.path)
+        if format is not None and detected is not None and detected != format:
+            raise StoreError(
+                f"store file {self.path} is {detected}-format, but format "
+                f"'{format}' was requested (use `dmexplore store convert` "
+                "to change formats)"
+            )
+        self.format = detected or format or "jsonl"
+        self._format = _lookup_format(self.format)
         self._load()
+        if self.auto_compact is not None and self.dead_entries >= self.auto_compact:
+            self.compact()
 
     # -- loading -----------------------------------------------------------
 
     def _load(self) -> None:
-        if self.path.exists() and self.path.is_dir():
-            raise StoreError(f"store path {self.path} is a directory")
         if not self.path.exists():
             return
-        raw = self.path.read_bytes()
-        self._read_offset = len(raw)
-        # A writer that died mid-append leaves a trailing line without a
-        # newline; if that line parses it is a complete entry, otherwise it
-        # is skipped below like any other corrupt line.  Either way, the
-        # next append must start on a fresh line.
-        self._needs_leading_newline = bool(raw) and not raw.endswith(b"\n")
-        for line in raw.decode("utf-8", errors="replace").splitlines():
-            if not line.strip():
-                continue
-            entry = self._parse_entry(line)
-            if entry is None:
-                self.corrupt_entries += 1
-                continue
-            key, payload = entry
-            # Last write wins: a re-recorded point supersedes older entries.
-            self._entries[key] = payload
-            self.loaded += 1
+        self._consume_tail(final=True)
 
     def refresh(self) -> int:
         """Pick up entries appended by other processes since the last read.
 
         The store reads its file once at open time; concurrent writers
         (parallel shards, distributed workers) only ever *append*, so
-        catching up means parsing the bytes past the last read offset.
-        Returns the number of usable entries added or superseded.  A
-        trailing chunk without a newline — a writer mid-append, or a torn
-        write from a killed one — is left unconsumed: it is either still
-        being written (complete on the next refresh) or permanently torn
-        (the next writer starts a fresh line, turning it into a complete,
-        corrupt, skipped line).
+        catching up means parsing the bytes past the last consumed offset —
+        O(appended tail), never O(history).  Returns the number of usable
+        entries added or superseded.  When the file was atomically replaced
+        (compaction), the replacement is consumed from the top; superseded
+        keys simply converge to the same live set.
 
         Own appends are replayed harmlessly (same key, same payload); only
         genuinely new keys change what :meth:`get`/:meth:`contains` answer.
         """
         if not self.path.exists():
             return 0
-        with open(self.path, "rb") as handle:
-            handle.seek(self._read_offset)
-            raw = handle.read()
-        if not raw:
+        return self._consume_tail(final=False)
+
+    def _consume_tail(self, final: bool) -> int:
+        try:
+            stat = os.stat(self.path)
+        except FileNotFoundError:
             return 0
-        # Only newline-terminated lines are consumed; the offset never
-        # advances past an unterminated tail.
-        complete, newline, tail = raw.rpartition(b"\n")
-        if not newline:
+        if self._ino is not None and (
+            stat.st_ino != self._ino or stat.st_size < self._read_offset
+        ):
+            # The file was atomically replaced (compaction) or truncated
+            # (torn-tail repair): the offsets — including every lazily held
+            # frame reference — describe the old inode.  Drop the index and
+            # its load counters and consume the replacement from its top;
+            # compaction preserves the live set, so nothing is lost.
+            self._ino = None
+            self._read_offset = 0
+            self._needs_leading_newline = False
+            self._pending_repair = None
+            self._close_read_fd()
+            self._entries.clear()
+            self.loaded = 0
+            self.dead_entries = 0
+            self.corrupt_entries = 0
+        if stat.st_size == 0:
+            self._ino = stat.st_ino
             return 0
-        self._read_offset += len(complete) + 1
-        # An unterminated tail is a torn write from a crashed writer (or a
-        # writer mid-append): keep the next own append starting on a fresh
-        # line so it cannot be swallowed by the torn bytes.
-        self._needs_leading_newline = bool(tail)
         fresh = 0
-        for line in complete.decode("utf-8", errors="replace").splitlines():
-            if not line.strip():
-                continue
-            entry = self._parse_entry(line)
-            if entry is None:
-                self.corrupt_entries += 1
-                continue
-            key, payload = entry
-            self._entries[key] = payload
+        try:
+            handle = open(self.path, "rb")
+        except FileNotFoundError:  # pragma: no cover - deleted under us
+            return 0
+        with handle:
+            if self._ino is None:
+                self._ino = os.fstat(handle.fileno()).st_ino
+            if self._read_fd is None:
+                # Keep a descriptor on the *indexed* inode so lazily parsed
+                # binary payloads stay readable across a later replace.
+                self._read_fd = os.dup(handle.fileno())
+            header = self._format.header
+            if header and self._read_offset < len(header):
+                head = handle.read(len(header))
+                if (
+                    len(head) < len(header)
+                    or head[: len(_BINARY_MAGIC)] != _BINARY_MAGIC
+                ):
+                    raise StoreError(
+                        f"store file {self.path} has a malformed "
+                        f"{self.format} header"
+                    )
+                version = struct.unpack_from("<I", head, len(_BINARY_MAGIC))[0]
+                if version != _BINARY_VERSION:
+                    raise StoreError(
+                        f"store file {self.path} uses {self.format} format "
+                        f"revision {version}; this build reads revision "
+                        f"{_BINARY_VERSION}"
+                    )
+                self._read_offset = len(header)
+            buffer, start, base = self._read_unconsumed(handle)
+        if len(buffer) <= start:
+            return 0
+        delta = base - start
+
+        def on_entry(key: object, value: object) -> None:
+            nonlocal fresh
+            if isinstance(value, _FrameRef):
+                value.offset += delta
+            if key in self._entries:
+                self.dead_entries += 1
+            self._entries[key] = value
             self.loaded += 1
             fresh += 1
+
+        try:
+            consumed, corrupt, tail_pending = self._format.consume(
+                buffer, start, final, on_entry
+            )
+        finally:
+            if isinstance(buffer, mmap.mmap):
+                buffer.close()
+        self.corrupt_entries += corrupt
+        self.bytes_consumed += consumed
+        self._read_offset += consumed
+        if self._format.repair:
+            self._needs_leading_newline = tail_pending
+        elif tail_pending:
+            self._pending_repair = (self._read_offset, base + (len(buffer) - start))
+        else:
+            self._pending_repair = None
         return fresh
+
+    def _read_unconsumed(self, handle) -> tuple[bytes | mmap.mmap, int, int]:
+        """The bytes past the consumed offset, as ``(buffer, start, base)``.
+
+        ``buffer[start:]`` is the unconsumed tail and ``base`` its absolute
+        file offset.  The initial load of a large binary store maps the
+        whole file (``start == base``) so the fixed-width header walk runs
+        over the page cache without a copy; every other path reads the
+        tail into memory (``start == 0``).
+        """
+        size = os.fstat(handle.fileno()).st_size
+        if (
+            self._format.name == "binary"
+            and self._read_offset <= len(self._format.header)
+            and size >= _MMAP_THRESHOLD
+        ):
+            try:
+                buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (OSError, ValueError):  # pragma: no cover - fall back
+                pass
+            else:
+                return buffer, self._read_offset, self._read_offset
+        handle.seek(self._read_offset)
+        return handle.read(), 0, self._read_offset
 
     @staticmethod
     def _parse_entry(line: str) -> tuple[tuple[str, str, int], dict] | None:
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError:
+        decoded = _decode_entry(line)
+        if decoded is None:
             return None
-        if not isinstance(data, dict):
-            return None
-        try:
-            fingerprint = data["fingerprint"]
-            point = data["point"]
-            version = int(data["metric_version"])
-            record = data["record"]
-        except (KeyError, TypeError, ValueError):
-            return None
-        if not isinstance(fingerprint, str) or not isinstance(point, dict):
-            return None
-        try:
-            # Validate the record payload eagerly so a corrupt entry surfaces
-            # at load time (and is counted), not as a crash mid-exploration.
-            ExplorationRecord.from_dict(record)
-        except (KeyError, TypeError, ValueError):
-            return None
-        return (fingerprint, canonical_point_json(point), version), record
+        key, entry = decoded
+        return key, entry["record"]
 
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _key(self, fingerprint: str, point: dict) -> object:
+        return self._format.entry_key(
+            fingerprint, canonical_point_json(point), self.metric_version
+        )
+
     def get(self, fingerprint: str, point: dict) -> ExplorationRecord | None:
         """Look one point up; returns a fresh record object or ``None``.
 
         Every call constructs a new :class:`ExplorationRecord` from the
         stored payload, so callers may mutate the result (relabelling,
-        database index assignment) without corrupting the store.
+        database index assignment) without corrupting the store.  Binary
+        frame payloads are parsed on the first get of their key and cached.
         """
-        key = (fingerprint, canonical_point_json(point), self.metric_version)
+        key = self._key(fingerprint, point)
         payload = self._entries.get(key)
+        if isinstance(payload, _FrameRef):
+            payload = self._materialise(key, payload)
         if payload is None:
             self.misses += 1
             return None
         self.hits += 1
         return ExplorationRecord.from_dict(payload)
+
+    def _materialise(self, key: object, ref: _FrameRef) -> dict | None:
+        """Parse a lazily indexed binary frame payload (once; then cached)."""
+        try:
+            if self._read_fd is None:  # pragma: no cover - defensive
+                self._read_fd = os.open(self.path, os.O_RDONLY)
+            data = os.pread(self._read_fd, ref.length, ref.offset)
+        except OSError:
+            data = b""
+        decoded = _decode_entry(data) if len(data) == ref.length else None
+        if decoded is not None:
+            (fingerprint, point_json, version), _entry = decoded
+            if self._format.entry_key(fingerprint, point_json, version) != key:
+                decoded = None
+        if decoded is None:
+            # The frame passed its CRC when indexed, so the payload itself
+            # can only disagree if the writer recorded a frame its own key
+            # does not describe.  Drop it and let the engine re-evaluate.
+            self.corrupt_entries += 1
+            self._entries.pop(key, None)
+            return None
+        payload = decoded[1]["record"]
+        self._entries[key] = payload
+        return payload
 
     def contains(self, fingerprint: str, point: dict) -> bool:
         """True when the store holds ``point`` — without touching counters.
@@ -261,8 +756,7 @@ class ResultStore:
         For cheap "would this evaluation be free?" probes (dominance
         pruning) that must not distort the hit/miss statistics.
         """
-        key = (fingerprint, canonical_point_json(point), self.metric_version)
-        return key in self._entries
+        return self._key(fingerprint, point) in self._entries
 
     def missing_points(
         self, fingerprint: str, points: Iterable[tuple[int, dict]]
@@ -279,8 +773,7 @@ class ResultStore:
         return [
             (index, point)
             for index, point in points
-            if (fingerprint, canonical_point_json(point), self.metric_version)
-            not in self._entries
+            if self._key(fingerprint, point) not in self._entries
         ]
 
     def put(
@@ -294,7 +787,7 @@ class ResultStore:
 
         The entry reaches the file as one atomic, immediately written
         append (see :meth:`_append`), so a crash never loses more than the
-        line being written — which the next open recovers from by skipping
+        unit being written — which the next open recovers from by skipping
         it — and appends from concurrent processes never interleave.
 
         ``spec_hash`` (the canonical :class:`repro.api.ExperimentSpec`
@@ -303,7 +796,7 @@ class ResultStore:
         key, so experiments that differ only in strategy or backend still
         share each other's evaluations.
         """
-        key = (fingerprint, canonical_point_json(point), self.metric_version)
+        key = self._key(fingerprint, point)
         if key in self._entries:
             return False
         payload = record.as_dict()
@@ -316,31 +809,36 @@ class ResultStore:
         }
         if spec_hash:
             entry["spec_hash"] = spec_hash
-        # Insertion order is preserved on purpose: the record payload keeps
-        # the evaluator's parameter order, so a record read back in another
-        # process serialises byte-identically to the one the evaluator held
-        # (lookups never depend on this — keys go through
-        # canonical_point_json, which sorts).
-        line = json.dumps(entry, separators=(",", ":"))
-        self._append((line + "\n").encode("utf-8"))
+        self._append(self._format.encode_entry(entry))
         return True
 
     def _append(self, data: bytes) -> None:
-        """Append ``data`` (a complete entry line) concurrent-writer-safely.
+        """Append ``data`` (one complete entry unit) concurrent-writer-safely.
 
         The descriptor is opened with ``O_APPEND``, so the kernel positions
         every ``write()`` at end-of-file atomically even when several
         processes share the store.  The whole entry goes out in a single
         ``os.write`` call, guarded by an advisory ``fcntl`` lock that (a)
-        serialises the rare short-write retry path and (b) keeps the
-        crashed-writer newline repair from splitting another writer's line.
+        serialises the rare short-write retry path, (b) keeps crashed-writer
+        tail repair from splitting another writer's unit, and (c) is the
+        fence compaction uses to swap the file underneath us safely.
         """
-        fd = self._ensure_fd()
-        if fcntl is not None:
-            fcntl.flock(fd, fcntl.LOCK_EX)
+        fd = self._lock_current_fd()
         try:
+            if self._format.header and os.fstat(fd).st_size == 0:
+                os.write(fd, self._format.header)
+            if self._pending_repair is not None:
+                clean_end, seen_size = self._pending_repair
+                self._pending_repair = None
+                # Every writer appends under this lock, so an unchanged
+                # size proves the torn tail is a crashed writer's permanent
+                # leftover, not a write in flight: cut it off.
+                if os.fstat(fd).st_size == seen_size and seen_size > clean_end:
+                    os.ftruncate(fd, clean_end)
+                    if self._read_offset > clean_end:
+                        self._read_offset = clean_end
             if self._needs_leading_newline:
-                os.write(fd, b"\n")
+                os.write(fd, self._format.repair)
                 self._needs_leading_newline = False
             remaining = data
             while remaining:
@@ -350,6 +848,34 @@ class ResultStore:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_UN)
 
+    def _lock_current_fd(self) -> int:
+        """Acquire the append lock on a descriptor for the *current* file.
+
+        Compaction replaces the store file atomically; a descriptor opened
+        before the replace points at the unlinked old inode, and bytes
+        written there would silently vanish.  Re-checking path-vs-descriptor
+        identity after taking the lock — and reopening until they agree —
+        guarantees every append lands in the live file.
+        """
+        fd = self._ensure_fd()
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return fd
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        while True:
+            try:
+                if os.stat(self.path).st_ino == os.fstat(fd).st_ino:
+                    return fd
+            except FileNotFoundError:
+                pass  # deleted outright: recreate a fresh file below
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+            self._fd = None
+            # Stale tail knowledge belongs to the old inode.
+            self._needs_leading_newline = False
+            self._pending_repair = None
+            fd = self._ensure_fd()
+            fcntl.flock(fd, fcntl.LOCK_EX)
+
     def _ensure_fd(self) -> int:
         if self._fd is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -358,11 +884,40 @@ class ResultStore:
             )
         return self._fd
 
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> dict:
+        """Rewrite this store's file down to its live set, in place.
+
+        Delegates to :func:`compact_store` (atomic replace under the append
+        lock), then reloads, so ``loaded``/``corrupt_entries``/
+        ``dead_entries`` describe the compacted image afterwards; ``hits``/
+        ``misses`` keep accumulating.  Returns the compaction stats.
+        """
+        stats = compact_store(self.path, format=self.format)
+        self._entries.clear()
+        self.loaded = 0
+        self.corrupt_entries = 0
+        self.dead_entries = 0
+        self._read_offset = 0
+        self._ino = None
+        self._needs_leading_newline = False
+        self._pending_repair = None
+        self._close_read_fd()
+        self._load()
+        return stats
+
     def close(self) -> None:
-        """Close the append descriptor (idempotent; the store stays queryable)."""
+        """Close the descriptors (idempotent; the store stays queryable)."""
         if self._fd is not None:
             os.close(self._fd)
             self._fd = None
+        self._close_read_fd()
+
+    def _close_read_fd(self) -> None:
+        if self._read_fd is not None:
+            os.close(self._read_fd)
+            self._read_fd = None
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -372,9 +927,215 @@ class ResultStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ResultStore(path={str(self.path)!r}, entries={len(self._entries)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"ResultStore(path={str(self.path)!r}, format={self.format!r}, "
+            f"entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
         )
+
+
+# -- maintenance over store files ---------------------------------------------
+
+
+def _lock_path_exclusive(path: Path) -> int:
+    """Open ``path`` for appending and take the store's exclusive lock.
+
+    Loops until the locked descriptor provably belongs to the file
+    currently at ``path`` — another compactor may have replaced the file
+    while we waited on the old inode's lock.
+    """
+    while True:
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND)
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return fd
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            if os.stat(path).st_ino == os.fstat(fd).st_ino:
+                return fd
+        except FileNotFoundError:
+            pass
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+
+def compact_store(
+    path: str | Path,
+    format: str | None = None,
+    output_format: str | None = None,
+) -> dict:
+    """Provenance-preserving rewrite of a store's live set, atomically.
+
+    Reads every usable entry under the store's advisory append lock, keeps
+    the winning (= last) entry per key in first-occurrence order — exactly
+    the last-write-wins rule :class:`ResultStore` applies at load — and
+    atomically replaces the file with the rewritten image.  Entries keep
+    their full serialised form (record payload, ``spec_hash`` provenance,
+    entries of foreign metric versions or fingerprints), so nothing any
+    reader can observe changes except dead bytes disappearing.
+
+    Safe against concurrent appenders: they block on the lock for the
+    duration and re-attach to the replacement file afterwards (every
+    :class:`ResultStore` re-checks descriptor-vs-path identity under the
+    lock before writing).  Readers holding the old file open keep a
+    consistent snapshot of the old inode.
+
+    ``output_format`` rewrites into a different format in place — the
+    compacting flavour of :func:`convert_store`.  Returns a stats dict
+    (``entries``, ``live``, ``dead``, ``corrupt``, ``bytes_before``,
+    ``bytes_after``, ``format``).
+    """
+    path = Path(path)
+    if not path.exists() or path.is_dir():
+        raise StoreError(f"no result store at {path}")
+    source = _lookup_format(format or detect_format(path) or "jsonl")
+    target = _lookup_format(output_format) if output_format else source
+    fd = _lock_path_exclusive(path)
+    try:
+        raw = path.read_bytes()
+        live: dict[tuple[str, str, int], dict] = {}
+        entries = corrupt = 0
+        for _offset, _length, entry in source.scan(raw):
+            if entry is None:
+                corrupt += 1
+                continue
+            entries += 1
+            key = (
+                entry["fingerprint"],
+                canonical_point_json(entry["point"]),
+                int(entry["metric_version"]),
+            )
+            # Last write wins; dict update keeps first-occurrence order, so
+            # the compacted file streams in the same order as the original
+            # (StoreRecordSource pins re-recorded points to their first
+            # position for exactly this reason).
+            live[key] = entry
+        image = bytearray(target.header)
+        for entry in live.values():
+            image += target.encode_entry(entry)
+        tmp = path.with_name(f"{path.name}.compact.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(image)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        _fsync_directory(path.parent)
+    finally:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+    return {
+        "path": str(path),
+        "format": target.name,
+        "entries": entries,
+        "live": len(live),
+        "dead": entries - len(live),
+        "corrupt": corrupt,
+        "bytes_before": len(raw),
+        "bytes_after": len(image),
+    }
+
+
+def convert_store(
+    source: str | Path, destination: str | Path, format: str
+) -> dict:
+    """Rewrite the store at ``source`` into ``format`` at ``destination``.
+
+    Every usable entry is carried over in file order — superseded
+    duplicates included — so a round trip (``jsonl`` → ``binary`` →
+    ``jsonl``) reproduces the original file byte-for-byte; corrupt units
+    are dropped and counted.  The snapshot is read under the store's shared
+    lock, so it is consistent with concurrent appenders; the destination is
+    written aside and atomically moved into place.  Returns a stats dict.
+    """
+    source = Path(source)
+    destination = Path(destination)
+    if not source.exists() or source.is_dir():
+        raise StoreError(f"no result store at {source}")
+    if source.resolve() == destination.resolve():
+        raise StoreError(
+            "convert_store cannot rewrite a store onto itself "
+            "(use compact_store/`dmexplore store compact` with a format "
+            "to re-encode in place)"
+        )
+    target = _lookup_format(format)
+    source_format = _lookup_format(detect_format(source) or "jsonl")
+    fd = os.open(source, os.O_RDONLY)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_SH)
+        raw = source.read_bytes()
+    finally:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+    entries = corrupt = 0
+    image = bytearray(target.header)
+    for _offset, _length, entry in source_format.scan(raw):
+        if entry is None:
+            corrupt += 1
+            continue
+        entries += 1
+        image += target.encode_entry(entry)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    tmp = destination.with_name(f"{destination.name}.convert.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(image)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, destination)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return {
+        "source": str(source),
+        "path": str(destination),
+        "source_format": source_format.name,
+        "format": target.name,
+        "entries": entries,
+        "corrupt": corrupt,
+        "bytes_before": len(raw),
+        "bytes_after": len(image),
+    }
+
+
+def store_info(path: str | Path) -> dict:
+    """Summarise a store file: format, size and entry/live/dead/corrupt counts.
+
+    Walks the file one unit at a time (payloads are parsed transiently for
+    validation, never retained), so it is safe on stores far larger than
+    memory would like to hold as records.
+    """
+    path = Path(path)
+    if not path.exists() or path.is_dir():
+        raise StoreError(f"no result store at {path}")
+    name = detect_format(path) or "jsonl"
+    fmt = _lookup_format(name)
+    raw = path.read_bytes()
+    seen: set[tuple[str, str, int]] = set()
+    entries = corrupt = 0
+    for _offset, _length, entry in fmt.scan(raw):
+        if entry is None:
+            corrupt += 1
+            continue
+        entries += 1
+        seen.add(
+            (
+                entry["fingerprint"],
+                canonical_point_json(entry["point"]),
+                int(entry["metric_version"]),
+            )
+        )
+    return {
+        "path": str(path),
+        "format": name,
+        "size_bytes": len(raw),
+        "entries": entries,
+        "live": len(seen),
+        "dead": entries - len(seen),
+        "corrupt": corrupt,
+    }
 
 
 # -- streaming a store back as records ---------------------------------------
@@ -385,11 +1146,12 @@ class StoreRecordSource:
 
     Construction scans the file once and builds an *offset index*: for every
     entry whose fingerprint and metric version match, the byte offset of the
-    winning (= last) line per parameter point — the same last-write-wins
-    rule :class:`ResultStore` applies at load time, but keeping only an
-    integer per point instead of the record payload.  Iteration then seeks
-    to each winning line and parses records one at a time, so the stream
-    serves arbitrarily many passes in O(1) record memory.
+    winning (= last) unit per parameter point — the same last-write-wins
+    rule :class:`ResultStore` applies at load time, but keeping only a pair
+    of integers per point instead of the record payload.  Iteration then
+    seeks to each winning unit and parses records one at a time, so the
+    stream serves arbitrarily many passes in O(1) record memory.  Both
+    store formats stream identically (the payload bytes are the same).
 
     With ``space`` given, points outside the space are filtered out, the
     stream is ordered by global enumeration index, and each yielded record
@@ -398,7 +1160,7 @@ class StoreRecordSource:
     exhaustive run (or a shard merge) over the same space would produce.
     Without a space, entries stream in file (append) order.
 
-    Corrupt lines are skipped and counted (``corrupt_entries``), entries of
+    Corrupt units are skipped and counted (``corrupt_entries``), entries of
     other fingerprints/versions under ``foreign_entries``, points outside
     the space under ``outside_space``.
     """
@@ -419,42 +1181,40 @@ class StoreRecordSource:
         self.outside_space = 0
         if self.path.exists() and self.path.is_dir():
             raise StoreError(f"store path {self.path} is a directory")
-        # point-json -> (global index or file position, byte offset)
-        index: dict[str, tuple[int, int]] = {}
+        self.format = detect_format(self.path) or "jsonl"
+        store_format = _lookup_format(self.format)
+        # point-json -> (global index or file position, offset, length)
+        index: dict[str, tuple[int, int, int]] = {}
         if self.path.exists():
-            with open(self.path, "rb") as handle:
-                position = 0
-                offset = handle.tell()
-                for raw in handle:
-                    line_offset = offset
-                    offset += len(raw)
-                    line = raw.decode("utf-8", errors="replace").strip()
-                    if not line:
+            raw = self.path.read_bytes()
+            position = 0
+            for offset, length, entry in store_format.scan(raw):
+                if entry is None:
+                    self.corrupt_entries += 1
+                    continue
+                point_json = canonical_point_json(entry["point"])
+                if (
+                    entry["fingerprint"] != fingerprint
+                    or int(entry["metric_version"]) != metric_version
+                ):
+                    self.foreign_entries += 1
+                    continue
+                if space is not None:
+                    try:
+                        order = space.index_of(json.loads(point_json))
+                    except (KeyError, ValueError):
+                        self.outside_space += 1
                         continue
-                    entry = ResultStore._parse_entry(line)
-                    if entry is None:
-                        self.corrupt_entries += 1
-                        continue
-                    (entry_fingerprint, point_json, version), _payload = entry
-                    if entry_fingerprint != fingerprint or version != metric_version:
-                        self.foreign_entries += 1
-                        continue
-                    if space is not None:
-                        try:
-                            order = space.index_of(json.loads(point_json))
-                        except (KeyError, ValueError):
-                            self.outside_space += 1
-                            continue
-                    else:
-                        order = position
-                    position += 1
-                    # Last write wins, but (without a space) the stream
-                    # keeps the position of the *first* occurrence so a
-                    # re-recorded point does not move to the tail.
-                    known = index.get(point_json)
-                    if known is not None and space is None:
-                        order = known[0]
-                    index[point_json] = (order, line_offset)
+                else:
+                    order = position
+                position += 1
+                # Last write wins, but (without a space) the stream
+                # keeps the position of the *first* occurrence so a
+                # re-recorded point does not move to the tail.
+                known = index.get(point_json)
+                if known is not None and space is None:
+                    order = known[0]
+                index[point_json] = (order, offset, length)
         self._plan = sorted(index.values())
 
     def __len__(self) -> int:
@@ -464,16 +1224,16 @@ class StoreRecordSource:
         if not self._plan:
             return
         with open(self.path, "rb") as handle:
-            for order, offset in self._plan:
+            for order, offset, length in self._plan:
                 handle.seek(offset)
-                line = handle.readline().decode("utf-8", errors="replace")
-                entry = ResultStore._parse_entry(line.strip())
-                if entry is None:  # pragma: no cover - file changed under us
+                data = handle.read(length)
+                decoded = _decode_entry(data)
+                if decoded is None:  # pragma: no cover - file changed under us
                     raise StoreError(
                         f"store entry at offset {offset} of {self.path} changed "
                         "after indexing"
                     )
-                record = ExplorationRecord.from_dict(entry[1])
+                record = ExplorationRecord.from_dict(decoded[1]["record"])
                 if self.space is not None:
                     record.index = order
                 yield record

@@ -185,10 +185,18 @@ class Coordinator:
             raise DistribError("lease_timeout must be positive")
         self.heartbeat_interval = self.lease_timeout / HEARTBEAT_FRACTION
         self.log = log
+        # The spec's store kind decides the on-disk format of the shared
+        # store; a spec without a persistent store serves over jsonl.
+        self._store_format = (
+            spec.store.name if spec.store.name in ("jsonl", "binary") else "jsonl"
+        )
         self._store_path = str(
             store_path
-            or (spec.store.name == "jsonl" and spec.store.params.get("path"))
-            or default_store_path()
+            or (
+                spec.store.name in ("jsonl", "binary")
+                and spec.store.params.get("path")
+            )
+            or default_store_path(self._store_format)
         )
         # Resolve once: trace, space, engine (its fingerprint and provenance
         # stamping), and the store the final artefact is assembled from.
@@ -234,7 +242,10 @@ class Coordinator:
     def _spec_document(self) -> dict:
         """The spec document workers run: store pinned to the shared path."""
         document = self.spec.to_dict()
-        document["store"] = {"name": "jsonl", "params": {"path": self._store_path}}
+        document["store"] = {
+            "name": self._store_format,
+            "params": {"path": self._store_path},
+        }
         return document
 
     @property

@@ -170,6 +170,9 @@ class Worker:
             self._resolved.engine.close()
             if self._resolved.store is not None:
                 self._resolved.store.close()
+            sink = self._resolved.sink
+            if sink is not None and hasattr(sink, "finish"):
+                sink.finish()
             self._resolved = None
         if self._sock is not None:
             try:
@@ -213,7 +216,7 @@ class Worker:
         # only the dead worker's uncommitted tail is fresh work).
         store.refresh()
         try:
-            database = engine.explore_range(start, stop)
+            database = engine.explore_range(start, stop, sink=self._resolved.sink)
         except _LeaseExpired:
             self.log(
                 f"{self.name}: lease {lease_id} [{start},{stop}) expired "

@@ -8,9 +8,11 @@ from .excel import (
     export_workbook,
 )
 from .gnuplot import export_gnuplot, write_gnuplot_data, write_gnuplot_script
+from .live import LiveDashboardSink
 from .report import dashboard, export_artifacts
 
 __all__ = [
+    "LiveDashboardSink",
     "dashboard",
     "export_all_configurations",
     "export_artifacts",

@@ -35,6 +35,7 @@ DOC_FILES = [
     REPO / "docs" / "distributed.md",
     REPO / "docs" / "exploring.md",
     REPO / "docs" / "performance.md",
+    REPO / "docs" / "store.md",
 ]
 
 FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
@@ -200,6 +201,37 @@ class TestDistributedDocRuns:
         assert blocks, "distributed.md should contain a runnable example"
         for block in blocks:
             exec(compile(block, "distributed.md", "exec"), {})
+
+
+class TestStoreDocRuns:
+    def test_store_doc_runs_verbatim(self, tmp_path, monkeypatch, capsys):
+        """Every sh and python block of docs/store.md, in order."""
+        monkeypatch.chdir(tmp_path)
+        text = (REPO / "docs" / "store.md").read_text(encoding="utf-8")
+        for language, body in FENCE.findall(text):
+            if language == "sh":
+                for line in dmexplore_lines([body]):
+                    assert run_line(line) == 0, f"store doc command failed: {line}"
+            elif language == "python":
+                exec(compile(body, "store.md", "exec"), {})
+        output = capsys.readouterr().out
+        # The doc's promises hold: the warm run was answered from the store...
+        assert "8 hits" in output
+        # ...and store info reported a healthy binary store.
+        assert "format:  binary" in output
+        # The warm re-run reproduced the cold results: the artefacts agree
+        # on everything except the store hit counters in the provenance.
+        import json
+
+        cold = json.loads((tmp_path / "sweep.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        for document in (cold, warm):
+            for counter in ("store", "cache"):
+                document.get("provenance", document).pop(counter, None)
+                document.pop(counter, None)
+        assert cold == warm
+        # The conversion emitted a jsonl twin of the binary store.
+        assert (tmp_path / "results.jsonl").exists()
 
 
 class TestTutorialRuns:
