@@ -40,6 +40,34 @@ bench-store:
 bench-store-full:
 	BENCH_STORE_FULL=1 $(RUN) -m pytest benchmarks/test_store_scale.py -q -s
 
+# Streaming benchmark: bounded-memory ingestion throughput, the
+# peak-memory-vs-segment-size bound, and segmented-vs-oneshot identity;
+# writes BENCH_stream.json (quick mode: 10^5 events).
+bench-stream:
+	$(RUN) -m pytest benchmarks/test_stream_scale.py -q -s
+
+# Same, at the dedicated 10^6-event log size — the run that produces the
+# BENCH_stream.json committed to the repository.
+bench-stream-full:
+	BENCH_STREAM_FULL=1 $(RUN) -m pytest benchmarks/test_stream_scale.py -q -s
+
+# Streaming verification: the segmented replay and the windowed analysis
+# must be byte-identical to the one-shot batch path (the property tests),
+# and a CLI `dmexplore windows` artefact must carry the same records as
+# the plain `dmexplore explore` artefact for the same experiment (the two
+# may differ only in the database name and the cache counters — windowed
+# replay profiles every point exactly once, so there is no memo section).
+STREAM_DIR := .stream-demo
+verify-stream:
+	$(RUN) -m pytest tests/test_stream.py -q
+	rm -rf $(STREAM_DIR) && mkdir -p $(STREAM_DIR)
+	$(RUN) -m repro explore --workload diurnal --space smoke --seed 1 \
+	  --out $(STREAM_DIR)/explore.json
+	$(RUN) -m repro windows --workload diurnal --space smoke --seed 1 \
+	  --window-events 500 --out $(STREAM_DIR)/windows.json
+	$(RUN) -c 'import json; e = json.load(open("$(STREAM_DIR)/explore.json")); w = json.load(open("$(STREAM_DIR)/windows.json")); s = w.pop("windows"); assert s["count"] >= 1 and s["windows"]; e.pop("cache", None); w["name"] = e["name"]; assert w == e, "windowed records differ from the plain sweep"; print("windowed exploration carries the plain sweep records (and a windows section)")'
+	rm -rf $(STREAM_DIR)
+
 # Store-format verification: the same exploration run against a jsonl and a
 # binary store must produce byte-identical artefacts, cold and warm, across
 # a conversion round trip and across compaction.  CI runs the same flow.
@@ -123,4 +151,4 @@ verify-spec:
 	@echo "spec-driven runs reproduce the flag invocations byte-identically"
 	rm -rf $(SPEC_DIR)
 
-.PHONY: verify bench bench-eval bench-eval-full bench-store bench-store-full verify-docs verify-bench verify-shards verify-cluster verify-spec verify-store
+.PHONY: verify bench bench-eval bench-eval-full bench-store bench-store-full bench-stream bench-stream-full verify-docs verify-bench verify-shards verify-cluster verify-spec verify-store verify-stream

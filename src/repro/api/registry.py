@@ -68,6 +68,11 @@ from ..core.space import STANDARD_SPACES
 from ..memhier.hierarchy import embedded_three_level, embedded_two_level
 from ..workloads.synthetic import BurstyWorkload, UniformRandomWorkload
 from ..workloads.easyport import EasyportWorkload
+from ..workloads.server import (
+    DiurnalWorkload,
+    RequestBurstWorkload,
+    SessionChurnWorkload,
+)
 from ..workloads.vtc import VTCWorkload
 
 
@@ -321,6 +326,21 @@ def _populate() -> None:
         BurstyWorkload,
         defaults={"bursts": 15, "burst_length": 80},
         description="alternating allocation bursts and quiet free periods",
+    )
+    workloads.register(
+        "sessions",
+        SessionChurnWorkload,
+        description="server session arrival/departure churn with state blocks",
+    )
+    workloads.register(
+        "requests",
+        RequestBurstWorkload,
+        description="batched request/response bursts of pooled blocks",
+    )
+    workloads.register(
+        "diurnal",
+        DiurnalWorkload,
+        description="sinusoidal day/night load curve over a mixed size profile",
     )
 
     for name, factory in STANDARD_SPACES.items():

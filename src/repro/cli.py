@@ -24,6 +24,9 @@ an :class:`~repro.api.ExperimentSpec` and hands it to
 * ``dmexplore report results.json --export-dir out/``
     print the dashboard and export the CSV / gnuplot artefacts
     (``--store PATH`` streams it straight from a persistent result store),
+* ``dmexplore windows --workload diurnal --window-events 500``
+    windowed phase analysis — one Pareto front per trace window, with the
+    front-shift summary that exposes non-stationary workloads,
 * ``dmexplore trace --workload vtc --out vtc.trace``
     generate and save a workload trace for inspection or reuse.
 
@@ -455,6 +458,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info_parser.add_argument("path", type=Path, help="store file to inspect")
 
+    windows_parser = subparsers.add_parser(
+        "windows",
+        help="windowed (phase) Pareto analysis: one front per trace window",
+    )
+    windows_parser.add_argument(
+        "--workload",
+        choices=registry.workloads.names(),
+        default=_DEFAULTS.workload.name,
+    )
+    windows_parser.add_argument(
+        "--space", choices=registry.spaces.names(), default=_DEFAULTS.space.name
+    )
+    windows_parser.add_argument(
+        "--hierarchy",
+        choices=registry.hierarchies.names(),
+        default=_DEFAULTS.hierarchy.name,
+    )
+    windows_parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
+    windows_parser.add_argument(
+        "--sample",
+        type=int,
+        default=_DEFAULTS.sample,
+        help="random-sample N points instead of exhaustive",
+    )
+    window_size = windows_parser.add_mutually_exclusive_group()
+    window_size.add_argument(
+        "--window-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cut the trace into windows of N events (default 1000)",
+    )
+    window_size.add_argument(
+        "--window-time",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="cut the trace into windows of TICKS timestamp ticks",
+    )
+    windows_parser.add_argument(
+        "--metrics", nargs="+", choices=metric_keys(), default=_DEFAULTS.metrics
+    )
+    windows_parser.add_argument("--out", type=Path, default=Path("windows.json"))
+    windows_parser.add_argument(
+        "--store",
+        type=Path,
+        nargs="?",
+        const=None,
+        default=argparse.SUPPRESS,
+        help=(
+            "persist the final records (plain fingerprint) and each "
+            "window's records (fingerprint:wK) in a result store; without "
+            "PATH the store lives under ~/.cache/dmexplore"
+        ),
+    )
+    windows_parser.add_argument(
+        "--store-format",
+        choices=("jsonl", "binary"),
+        default="jsonl",
+        help="on-disk format of the --store file (an existing store keeps its format)",
+    )
+
     trace_parser = subparsers.add_parser("trace", help="generate and save a workload trace")
     trace_parser.add_argument(
         "--workload",
@@ -787,6 +852,66 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_windows(args: argparse.Namespace) -> int:
+    """Run the windowed phase analysis (``repro.stream.windows``) from flags."""
+    from .core.reporting import exploration_report
+    from .stream import WindowSpec, windowed_exploration
+
+    if hasattr(args, "store"):  # --store given (with or without a path)
+        store = ComponentRef(
+            args.store_format,
+            {"path": str(args.store)} if args.store is not None else {},
+        )
+    else:
+        store = ComponentRef("none")
+    try:
+        spec = ExperimentSpec(
+            workload=ComponentRef(args.workload),
+            space=ComponentRef(args.space),
+            hierarchy=ComponentRef(args.hierarchy),
+            store=store,
+            seed=args.seed,
+            sample=args.sample,
+            metrics=tuple(args.metrics) if args.metrics else None,
+        )
+        resolved = Experiment(spec).resolve()
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.window_time is not None:
+        window = WindowSpec(time=args.window_time)
+    else:
+        window = WindowSpec(events=args.window_events or 1000)
+    _print_banner(resolved)
+    print(f"windows: {window.size} {window.mode} per window")
+    try:
+        database, analysis = windowed_exploration(
+            resolved.engine,
+            window,
+            metrics=resolved.metrics,
+            sink=resolved.sink,
+        )
+    finally:
+        resolved.engine.close()
+        if resolved.store is not None:
+            resolved.store.close()
+        if resolved.sink is not None and hasattr(resolved.sink, "finish"):
+            resolved.sink.finish()
+    database.to_json(args.out)
+    print(
+        f"stored {len(database)} results ({len(analysis)} windows, "
+        f"{len(analysis.shifts())} front shifts) in {args.out}"
+    )
+    print(
+        exploration_report(
+            database,
+            title=f"{spec.workload.name} windowed exploration",
+            metrics=resolved.metrics,
+        )
+    )
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     workload = registry.workloads.create(args.workload)
     trace = workload.generate(seed=args.seed)
@@ -815,6 +940,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _command_serve,
         "worker": _command_worker,
         "store": _command_store,
+        "windows": _command_windows,
         "trace": _command_trace,
     }
     return commands[args.command](args)

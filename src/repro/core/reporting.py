@@ -159,4 +159,43 @@ def exploration_report(
         lines.append("")
         lines.append("Suggested balanced configuration (knee point):")
         lines.append("  " + describe_record(knee, metrics))
+    windows = getattr(database, "windows", None)
+    if windows:
+        lines.append("")
+        lines.append(windows_section(windows))
+    return "\n".join(lines)
+
+
+def windows_section(windows: dict) -> str:
+    """Render the windowed phase analysis attached by ``dmexplore windows``.
+
+    One line per window — index, span, front size, the front's labels —
+    plus the shift summary (windows whose optimal set differs from the
+    previous window's).  Consumes the JSON-ready ``windows`` dict, so the
+    section renders identically from a live run and a reloaded artefact.
+    """
+    unit = "events" if windows.get("mode") == "events" else "ticks"
+    lines = [
+        f"Windowed analysis: {windows.get('count', 0)} windows of "
+        f"{windows.get('size', 0)} {unit}, metrics "
+        f"{'/'.join(windows.get('metrics', []))}"
+    ]
+    shifts = windows.get("shifts", [])
+    if shifts:
+        lines.append(
+            f"Front shifts at windows: {', '.join(str(s) for s in shifts)}"
+        )
+    else:
+        lines.append("Front shifts at windows: none (stationary workload)")
+    for window in windows.get("windows", []):
+        labels = [member.get("label", "?") for member in window.get("front", [])]
+        shown = ", ".join(labels[:4])
+        if len(labels) > 4:
+            shown += f", ... ({len(labels)} total)"
+        marker = " *" if window.get("shifted") else ""
+        lines.append(
+            f"  window {window.get('index'):>3}  "
+            f"{window.get('events'):>7} events  "
+            f"front {window.get('front_size'):>3}{marker}  [{shown}]"
+        )
     return "\n".join(lines)

@@ -272,6 +272,10 @@ class ResultDatabase:
         # Evaluation-context identity; set by the producing engine, required
         # by ``dmexplore merge`` to validate artefact compatibility.
         self.provenance: Provenance | None = None
+        # Windowed phase analysis attached by ``dmexplore windows`` (the
+        # JSON-ready dict of repro.stream.WindowedAnalysis.as_dict); empty
+        # for ordinary explorations.
+        self.windows: dict = {}
 
     # -- collection ------------------------------------------------------
 
@@ -431,6 +435,8 @@ class ResultDatabase:
             }
         if self.provenance is not None:
             payload["provenance"] = self.provenance.as_dict()
+        if self.windows:
+            payload["windows"] = self.windows
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
     @classmethod
@@ -449,6 +455,7 @@ class ResultDatabase:
         database.prune_predicted = int(pruning.get("predicted", 0))
         if "provenance" in payload:
             database.provenance = Provenance.from_dict(payload["provenance"])
+        database.windows = payload.get("windows", {})
         for entry in payload.get("records", []):
             database.add(ExplorationRecord.from_dict(entry))
         return database
@@ -511,6 +518,7 @@ class StreamingResultView:
         self.prune_skipped = 0
         self.prune_predicted = 0
         self.provenance: Provenance | None = None
+        self.windows: dict = {}
         self._fronts: dict[
             tuple[tuple[str, ...], bool], IncrementalParetoFront[ExplorationRecord]
         ] = {}

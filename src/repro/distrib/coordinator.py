@@ -200,8 +200,15 @@ class Coordinator:
         )
         # Resolve once: trace, space, engine (its fingerprint and provenance
         # stamping), and the store the final artefact is assembled from.
+        # Only the coordinator's own store carries the auto_compact
+        # threshold — the announced worker document stays threshold-free,
+        # so workers never race each other rewriting the shared file.
+        document = self._spec_document()
+        threshold = spec.store.params.get("auto_compact")
+        if threshold is not None:
+            document["store"]["params"]["auto_compact"] = threshold
         self._resolved: ResolvedExperiment = Experiment(
-            spec.from_dict(self._spec_document())
+            spec.from_dict(document)
         ).resolve()
         self.store: ResultStore = self._resolved.store  # type: ignore[assignment]
         assert self.store is not None
@@ -227,6 +234,7 @@ class Coordinator:
             "leases_expired": 0,
             "leases_requeued_on_disconnect": 0,
             "ranges_releases_after_verify": 0,
+            "auto_compactions": 0,
             "workers_seen": set(),
         }
         self._selector: selectors.BaseSelector | None = None
@@ -455,7 +463,32 @@ class Coordinator:
             self.log(
                 f"coordinator: range {state.label} complete "
                 f"({connection.worker}, {done}/{len(self.ranges)} ranges)")
+            self._maybe_compact()
         self._send(connection, {"type": "ack", "lease_id": lease_id})
+
+    def _maybe_compact(self) -> None:
+        """Compact the shared store between lease completions when due.
+
+        Workers re-evaluating a re-leased range append superseded entries;
+        over a long elastic sweep those dead entries accumulate in the
+        shared file.  Each range completion is a natural quiet point: the
+        coordinator catches up on the appended tail and, when the dead
+        count has crossed the store's ``auto_compact`` threshold, rewrites
+        the file down to its live set (atomic replace — workers' readers
+        pick the new inode up on their next refresh).  A store opened
+        without ``auto_compact`` is never touched.
+        """
+        if self.store.auto_compact is None:
+            return
+        self.store.refresh()
+        if self.store.dead_entries < self.store.auto_compact:
+            return
+        stats = self.store.compact()
+        self.stats["auto_compactions"] += 1
+        self.log(
+            f"coordinator: store compacted ({stats['dead']} dead of "
+            f"{stats['entries']} entries dropped, "
+            f"{stats['bytes_before']} -> {stats['bytes_after']} bytes)")
 
     # -- lease bookkeeping -------------------------------------------------
 

@@ -71,6 +71,7 @@ class LiveDashboardSink:
         self.ranges: dict[str, tuple[float, float]] = {}
         self._engine = None
         self._strategy = None
+        self._windows = None
         self._started = time.monotonic()
         self._last_render = 0.0
         self._block_height = 0
@@ -84,6 +85,17 @@ class LiveDashboardSink:
     def attach_strategy(self, strategy) -> None:
         """Mirror ``strategy``'s dominance-prune counters live."""
         self._strategy = strategy
+
+    def attach_windows(self, analysis) -> None:
+        """Mirror a windowed analysis' per-window front sizes live.
+
+        ``analysis`` is anything with a ``status_line() -> str`` method
+        (:class:`repro.stream.WindowedAnalysis` in practice); the line is
+        re-read at every render, so it tracks the fronts as configurations
+        stream in.  Attaching the dashboard never changes the produced
+        artefact — the window section bytes come from the analysis itself.
+        """
+        self._windows = analysis
 
     # -- the sink protocol -------------------------------------------------
 
@@ -141,6 +153,8 @@ class LiveDashboardSink:
             )
         if counters:
             lines.append("counters: " + " | ".join(counters))
+        if self._windows is not None:
+            lines.append(self._windows.status_line())
         return lines
 
     def render(self, final: bool = False) -> None:

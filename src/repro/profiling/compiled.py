@@ -24,8 +24,9 @@ events — tags included — so store keys and provenance are unaffected.
 
 from __future__ import annotations
 
+import hashlib
 from array import array
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from .events import AllocationEvent, EventKind
 
@@ -77,6 +78,14 @@ class CompiledTrace:
         express the legacy loop's behaviour for such streams — it rebinds
         the id only when the allocation *succeeds* at runtime — so the
         profiler falls back to the event loop when this flag is set.
+    slot_base:
+        Global slot index of this trace's first ALLOC.  A one-shot compile
+        always has ``slot_base == 0``; a *segment* emitted by
+        :class:`SegmentedTraceCompiler` carries the number of allocations
+        seen in earlier segments, so its ``slots`` column holds globally
+        unique values while ``slot_sizes`` stays local (index
+        ``slot - slot_base``).  A FREE whose slot is below ``slot_base``
+        releases an allocation from an earlier segment.
     name / fingerprint:
         Identity of the source trace; the fingerprint is the trace's
         content hash over the *original* events (tags included).
@@ -93,6 +102,7 @@ class CompiledTrace:
         "has_live_rebinding",
         "name",
         "fingerprint",
+        "slot_base",
     )
 
     def __init__(
@@ -107,6 +117,7 @@ class CompiledTrace:
         has_live_rebinding: bool = False,
         name: str = "trace",
         fingerprint: str = "",
+        slot_base: int = 0,
     ) -> None:
         self.kinds = kinds
         self.sizes = sizes
@@ -118,6 +129,7 @@ class CompiledTrace:
         self.has_live_rebinding = has_live_rebinding
         self.name = name
         self.fingerprint = fingerprint
+        self.slot_base = slot_base
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -136,6 +148,7 @@ class CompiledTrace:
             self.has_live_rebinding,
             self.name,
             self.fingerprint,
+            self.slot_base,
         )
 
     def __setstate__(self, state: tuple) -> None:
@@ -150,6 +163,7 @@ class CompiledTrace:
             self.has_live_rebinding,
             self.name,
             self.fingerprint,
+            self.slot_base,
         ) = state
 
     def __reduce__(self) -> tuple:
@@ -258,3 +272,111 @@ def compile_trace(
         name=name,
         fingerprint=fingerprint,
     )
+
+
+class SegmentedTraceCompiler:
+    """Incremental :func:`compile_trace`: one segment per :meth:`feed` call.
+
+    The streaming-ingestion layer (:mod:`repro.stream`) hands event chunks
+    to this compiler as they come off a log; each chunk becomes a
+    :class:`CompiledTrace` *segment* whose columns are, by construction,
+    exactly the corresponding rows of the one-shot compile of the full
+    stream:
+
+    * ``slots`` values are **global** — slot resolution (the ``slot_of``
+      dict of :func:`compile_trace`) carries across segment boundaries, so
+      a FREE in segment 3 of an allocation from segment 1 resolves to that
+      allocation's global slot;
+    * ``slot_sizes`` is **local** to the segment (index
+      ``slot - slot_base``) so per-segment memory stays bounded by the
+      chunk size, not by the live-allocation population;
+    * :attr:`slot_count` is the number of allocations in *this* segment;
+      the compiler's own :attr:`slot_count` is the running global total.
+
+    The compiler also maintains the stream's content hash incrementally
+    (same per-event formula as
+    :meth:`~repro.profiling.tracer.AllocationTrace.fingerprint`, tags
+    included), so a fully fed stream yields the exact fingerprint the
+    one-shot trace would — store keys and provenance agree whichever path
+    compiled the trace.
+
+    Memory held between calls is the live-allocation table (one dict entry
+    per live allocation) plus the hash state — the invariant the streaming
+    benchmark asserts.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        #: request id -> global slot of its live allocation.
+        self._slot_of: dict[int, int] = {}
+        #: Global allocation count across all segments fed so far.
+        self.slot_count = 0
+        #: Global event count across all segments fed so far.
+        self.events_seen = 0
+        self.segments = 0
+        self.has_live_rebinding = False
+        self._digest = hashlib.sha256()
+
+    def fingerprint(self) -> str:
+        """Content hash of everything fed so far (hex SHA-256).
+
+        After the final :meth:`feed`, equal to the one-shot
+        :meth:`AllocationTrace.fingerprint <repro.profiling.tracer
+        .AllocationTrace.fingerprint>` of the whole stream.
+        """
+        return self._digest.hexdigest()
+
+    def feed(self, events: Iterable[AllocationEvent]) -> CompiledTrace:
+        """Compile one chunk of the stream into its segment.
+
+        Returns the segment even when ``events`` is empty (zero-length
+        segments replay as no-ops), so callers need no special casing.
+        """
+        events = list(events)
+        count = len(events)
+        kinds = bytearray(count)
+        sizes = [0] * count
+        request_ids = [0] * count
+        timestamps = [0] * count
+        slots = [0] * count
+        slot_base = self.slot_count
+        slot_sizes: list[int] = []
+        slot_of = self._slot_of
+        digest = self._digest
+        slot_count = self.slot_count
+        for index, event in enumerate(events):
+            request_id = event.request_id
+            request_ids[index] = request_id
+            timestamps[index] = event.timestamp
+            digest.update(
+                f"{event.kind.value}|{request_id}|{event.size}"
+                f"|{event.timestamp}|{event.tag}\n".encode()
+            )
+            if event.kind is EventKind.ALLOC:
+                kinds[index] = ALLOC_CODE
+                size = event.size
+                sizes[index] = size
+                slots[index] = slot_count
+                slot_sizes.append(size)
+                if request_id in slot_of:
+                    self.has_live_rebinding = True
+                slot_of[request_id] = slot_count
+                slot_count += 1
+            else:
+                slots[index] = slot_of.pop(request_id, NO_SLOT)
+        self.slot_count = slot_count
+        self.events_seen += count
+        self.segments += 1
+        return CompiledTrace(
+            kinds=bytes(kinds),
+            sizes=_pack(sizes),
+            request_ids=_pack(request_ids),
+            timestamps=_pack(timestamps),
+            slots=_pack(slots),
+            slot_sizes=_pack(slot_sizes),
+            slot_count=slot_count - slot_base,
+            has_live_rebinding=self.has_live_rebinding,
+            name=self.name,
+            fingerprint="",
+            slot_base=slot_base,
+        )

@@ -15,9 +15,12 @@ Format (one record per line, ``|``-separated fields):
     Per-memory-level breakdown line.
 ``P|<config_id>|<pool>|<module>|<accesses>|<peak_footprint>``
     Per-pool breakdown line.
-``E|<config_id>|<op_index>|<kind>|<size>``
+``E|<config_id>|<op_index>|<kind>|<size>|<request_id>|<timestamp>``
     Optional raw event echo used to blow the logs up to realistic sizes for
-    the parsing-speed experiment.
+    the parsing-speed experiment.  The request id and timestamp make the
+    echo a complete record of the trace, so the streaming-ingestion layer
+    (:class:`repro.stream.ProfilingLogSource`) can replay a log's events
+    without the original trace file.
 ``#``-prefixed lines are comments and are ignored by the parser.
 """
 
@@ -78,7 +81,7 @@ def format_event_lines(
     for index, event in enumerate(trace):
         yield (
             f"{EVENT_PREFIX}|{configuration_id}|{index}|"
-            f"{event.kind.value}|{event.size}"
+            f"{event.kind.value}|{event.size}|{event.request_id}|{event.timestamp}"
         )
 
 

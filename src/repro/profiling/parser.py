@@ -42,6 +42,12 @@ class ParsedLog:
     event_lines: int = 0
     total_lines: int = 0
     skipped_lines: int = 0
+    #: Malformed *final* lines tolerated as a torn tail (a crashed or still
+    #: running writer leaves a truncated last line; like the result store's
+    #: torn-tail repair, the parser skips it with a counter instead of
+    #: raising — strict mode included).  Always 0 or 1, and also counted in
+    #: :attr:`skipped_lines`.
+    truncated_tail: int = 0
 
     def configuration_ids(self) -> list[str]:
         return list(self.results)
@@ -89,10 +95,23 @@ class ProfilingLogParser:
         return self.parse_lines(text.splitlines())
 
     def parse_lines(self, lines: Iterable[str]) -> ParsedLog:
-        """Parse an iterable of log lines."""
+        """Parse an iterable of log lines.
+
+        One line of lookahead distinguishes a malformed line *inside* the
+        log (a real format error: raised in strict mode, counted otherwise)
+        from a malformed *final* line (the torn tail a crashed writer
+        leaves): the tail is skipped with ``truncated_tail`` set, never
+        raised, so a log captured mid-write still parses.
+        """
         parsed = ParsedLog()
         event_counts: dict[str, int] = {}
-        for line_number, raw_line in enumerate(lines, start=1):
+        iterator = iter(lines)
+        line_number = 0
+        pending = next(iterator, None)
+        while pending is not None:
+            raw_line = pending
+            pending = next(iterator, None)
+            line_number += 1
             line = raw_line.rstrip("\n")
             parsed.total_lines += 1
             if not line or line.startswith(COMMENT_PREFIX):
@@ -113,9 +132,13 @@ class ProfilingLogParser:
                 else:
                     raise ValueError(f"unknown record type '{prefix}'")
             except (ValueError, IndexError) as exc:
-                if self.strict:
+                if pending is None:
+                    parsed.truncated_tail += 1
+                    parsed.skipped_lines += 1
+                elif self.strict:
                     raise LogParseError(line_number, line, str(exc)) from exc
-                parsed.skipped_lines += 1
+                else:
+                    parsed.skipped_lines += 1
         if self.keep_events:
             for config_id, count in event_counts.items():
                 if config_id in parsed.results:

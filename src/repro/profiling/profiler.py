@@ -500,6 +500,444 @@ class Profiler:
         return result
 
 
+class _TraceHandle:
+    """Duck-typed stand-in for a trace in :meth:`Profiler._collect`.
+
+    ``_collect`` only reads ``trace.name`` and ``len(trace)``; a streaming
+    session has no :class:`AllocationTrace` object to hand it, just the name
+    and the running event count.
+    """
+
+    __slots__ = ("name", "_length")
+
+    def __init__(self, name: str, length: int) -> None:
+        self.name = name
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class SegmentReplaySession:
+    """Replays :class:`CompiledTrace` *segments*, carrying state across them.
+
+    The streaming layer (:mod:`repro.stream`) compiles an unbounded event
+    stream into bounded segments; this session replays them one by one
+    through a single allocator, so the final counters — and the
+    :class:`~repro.profiling.metrics.ProfileResult` built from them — are
+    byte-identical to a one-shot :meth:`Profiler.run` over the whole trace
+    (property-tested over random segmentations in ``tests/test_stream.py``).
+
+    How the identity is kept:
+
+    * each segment replays through a per-segment copy of the compiled fast
+      path.  Kernel eligibility is recomputed per segment, so a pool warmed
+      by an earlier segment (its free list or live table is populated)
+      naturally drops to its own ``allocate``/``free`` methods — the
+      reference semantics — while untouched pools still take the kernel;
+    * allocations surviving a segment are carried in a ``global slot ->
+      (address, pool position, size)`` table; a FREE whose slot predates the
+      segment (``slot < slot_base``) releases through the owning pool
+      exactly as :meth:`ComposedAllocator.free` would (dispatch charge,
+      owner-map pop, ``pool.free``);
+    * payload-access attribution, OOM counts and the footprint timeline
+      accumulate across segments in event order.
+
+    Between segments the caller may take a :meth:`snapshot` — a cumulative
+    :class:`ProfileResult` at the segment boundary — which is what windowed
+    analysis differentiates into per-window metrics.
+
+    With ``ProfilerOptions(fast_replay=False)`` (or a subclassed allocator)
+    the session replays each segment's reconstructed events through the
+    legacy ``malloc``/``free`` loop, carrying the live address table
+    instead; streams that re-bind a live request id (malformed; rejected by
+    ``AllocationTrace.validate``) are only supported by that mode.
+    """
+
+    def __init__(
+        self,
+        profiler: Profiler,
+        allocator: ComposedAllocator,
+        name: str = "stream",
+    ) -> None:
+        self.profiler = profiler
+        self.allocator = allocator
+        self.name = name
+        options = profiler.options
+        self._fast = bool(options.fast_replay) and type(allocator) is ComposedAllocator
+        self.oom_failures = 0
+        self.footprint_timeline: list[tuple[int, int]] = []
+        self.events_seen = 0
+        self.segments_replayed = 0
+        #: global slot -> (address, pool position, payload size) of
+        #: allocations alive across a segment boundary (fast mode).
+        self._survivors: dict[int, tuple[int, int, int]] = {}
+        #: request id -> address of live allocations (legacy mode).
+        self._address_of: dict[int, int] = {}
+        # Pool tables that are valid for the allocator's whole lifetime.
+        pools = allocator.pools
+        self._pools = pools
+        self._position_of = {pool: index for index, pool in enumerate(pools)}
+        self._stats_of = [pool.stats for pool in pools]
+        self._live_of = [pool._live for pool in pools]
+        self._freed_of = [pool._freed_addresses for pool in pools]
+        self._freed_bounded = [pool._freed_order is not None for pool in pools]
+        self._gross_of = [getattr(pool, "gross_size", 0) for pool in pools]
+        self._spaces = [pool.space for pool in pools]
+        # Payload-access accumulation in global first-touch order: folding
+        # each segment's local first-touch order preserves it.
+        self._payload_totals = [0.0] * len(pools)
+        self._payload_touched = [False] * len(pools)
+        self._payload_order: list[int] = []
+        self._payload_by_name: dict[str, float] = {}
+
+    # -- segment replay ----------------------------------------------------
+
+    def replay_segment(self, segment: CompiledTrace) -> None:
+        """Replay one segment, updating the carried state."""
+        if self._fast:
+            if segment.has_live_rebinding:
+                raise ValueError(
+                    "streaming fast replay requires a well-formed trace "
+                    "(an ALLOC re-binds a live request id); replay with "
+                    "ProfilerOptions(fast_replay=False)"
+                )
+            self._replay_segment_fast(segment)
+        else:
+            self._replay_segment_events(segment)
+        self.events_seen += len(segment)
+        self.segments_replayed += 1
+
+    def _replay_segment_events(self, segment: CompiledTrace) -> None:
+        """Legacy per-event replay of one segment (reference semantics)."""
+        allocator = self.allocator
+        options = self.profiler.options
+        address_of = self._address_of
+        payload = self._payload_by_name
+        for event in segment.events():
+            if event.is_alloc:
+                try:
+                    address = allocator.malloc(event.size)
+                except OutOfMemoryError:
+                    self.oom_failures += 1
+                    if options.fail_on_oom:
+                        raise
+                    continue
+                address_of[event.request_id] = address
+                owner = allocator.owner_of(address)
+                if owner is not None:
+                    payload[owner.name] = (
+                        payload.get(owner.name, 0.0)
+                        + event.size * options.payload_access_factor
+                    )
+            else:
+                address = address_of.pop(event.request_id, None)
+                if address is None:
+                    continue
+                allocator.free(address)
+            if options.track_footprint_timeline:
+                self.footprint_timeline.append(
+                    (event.timestamp, allocator.total_footprint)
+                )
+
+    def _replay_segment_fast(self, segment: CompiledTrace) -> None:
+        """Fast-path replay of one segment (columnar, kernels, batching).
+
+        A transcription of :meth:`Profiler._replay_compiled` with three
+        changes: kernel eligibility is recomputed here (per segment), the
+        slot table is local to the segment (``slot - slot_base``), and
+        cross-segment FREEs go through the carried survivor table.  The
+        one-shot method itself is left untouched — it is the proven hot
+        path the identity tests compare against.
+        """
+        allocator = self.allocator
+        options = self.profiler.options
+        factor = options.payload_access_factor
+        fail_on_oom = options.fail_on_oom
+        track_timeline = options.track_footprint_timeline
+
+        kinds = segment.kinds
+        sizes = segment.sizes
+        slots = segment.slots
+        timestamps = segment.timestamps
+        slot_sizes = segment.slot_sizes
+        slot_base = segment.slot_base
+
+        pools = self._pools
+        pool_count = len(pools)
+        position_of = self._position_of
+        owner_of = allocator._owner_of
+        stats_of = self._stats_of
+        live_of = self._live_of
+        freed_of = self._freed_of
+        freed_bounded = self._freed_bounded
+        gross_of = self._gross_of
+        spaces = self._spaces
+        payload_totals = self._payload_totals
+        payload_touched = self._payload_touched
+        payload_order = self._payload_order
+        survivors = self._survivors
+
+        # Kernel eligibility, recomputed per segment: a pool warmed by an
+        # earlier segment has free-list blocks or live entries and drops to
+        # its own allocate/free; a still-fresh pool takes the kernel.
+        int_stacks: list[list | None] = [None] * pool_count
+        lists_: list[LIFOFreeList | None] = [None] * pool_count
+        carve_pushed = [False] * pool_count
+        for index, pool in enumerate(pools):
+            if (
+                type(pool) is FixedSizePool
+                and type(pool.free_list) is LIFOFreeList
+                and not pool.free_list._blocks
+                and not pool._live
+            ):
+                int_stacks[index] = []
+                lists_[index] = pool.free_list
+
+        warm_allocs = [0] * pool_count
+        warm_frees = [0] * pool_count
+
+        # Route plans are per segment because they bake in eligibility.
+        plans: dict[int, tuple[tuple, int]] = {}
+        routed_pools = allocator.routed_pools
+
+        addresses: list[int | None] = [None] * segment.slot_count
+        owners = bytearray(segment.slot_count) if pool_count <= 255 else None
+        if owners is None:  # pragma: no cover - absurd pool count
+            owners = [0] * segment.slot_count
+        oom_failures = 0
+        footprint_timeline = self.footprint_timeline
+        dispatch = 0
+
+        def allocate_slow(size: int, entries: tuple) -> tuple:
+            last_oom = None
+            for pool, position in entries:
+                stack = int_stacks[position]
+                if stack is None:
+                    try:
+                        return pool.allocate(size), position, None
+                    except OutOfMemoryError as exc:
+                        last_oom = exc
+                        continue
+                stats = stats_of[position]
+                if stack:
+                    address = stack.pop()
+                    warm_allocs[position] += 1
+                else:
+                    gross = gross_of[position]
+                    try:
+                        grown = spaces[position].grow(gross)
+                    except OutOfMemoryError as exc:
+                        stats.failed_allocs += 1
+                        last_oom = exc
+                        continue
+                    footprint = stats.footprint + grown.size
+                    stats.footprint = footprint
+                    if footprint > stats.peak_footprint:
+                        stats.peak_footprint = footprint
+                    count = grown.size // gross
+                    address = grown.start
+                    if count > 1:
+                        stack.extend(
+                            range(address + gross, address + count * gross, gross)
+                        )
+                        carve_pushed[position] = True
+                    stats.accesses.writes += count + 1
+                    stats.alloc_ops += 1
+                    stats.live_blocks += 1
+                    stats.live_gross += gross
+                live_payload = stats.live_payload + size
+                stats.live_payload = live_payload
+                if live_payload > stats.peak_live_payload:
+                    stats.peak_live_payload = live_payload
+                freed_of[position].discard(address)
+                return address, position, None
+            return None, -1, last_oom
+
+        try:
+            for index, kind in enumerate(kinds):
+                if kind:
+                    size = sizes[index]
+                    plan = plans.get(size)
+                    if plan is None:
+                        route = routed_pools(size)
+                        entries = tuple(
+                            (pool, position_of[pool]) for pool in route
+                        )
+                        first = entries[0][1] if entries else -1
+                        if first >= 0 and int_stacks[first] is None:
+                            first = -1
+                        plan = (entries, first)
+                        plans[size] = plan
+                    entries, first = plan
+                    dispatch += 1
+                    if first >= 0:
+                        stack = int_stacks[first]
+                        if stack:
+                            address = stack.pop()
+                            warm_allocs[first] += 1
+                            stats = stats_of[first]
+                            live_payload = stats.live_payload + size
+                            stats.live_payload = live_payload
+                            if live_payload > stats.peak_live_payload:
+                                stats.peak_live_payload = live_payload
+                            freed_of[first].discard(address)
+                            local = slots[index] - slot_base
+                            addresses[local] = address
+                            owners[local] = first
+                            payload_totals[first] += size * factor
+                            if not payload_touched[first]:
+                                payload_touched[first] = True
+                                payload_order.append(first)
+                            if track_timeline:
+                                footprint_timeline.append(
+                                    (timestamps[index], allocator.total_footprint)
+                                )
+                            continue
+                    address, position, last_oom = allocate_slow(size, entries)
+                    if address is None:
+                        oom_failures += 1
+                        if fail_on_oom:
+                            if last_oom is not None:
+                                raise last_oom
+                            raise OutOfMemoryError(size, pool=allocator.name)
+                        continue
+                    local = slots[index] - slot_base
+                    addresses[local] = address
+                    owners[local] = position
+                    payload_totals[position] += size * factor
+                    if not payload_touched[position]:
+                        payload_touched[position] = True
+                        payload_order.append(position)
+                else:
+                    slot = slots[index]
+                    if slot >= slot_base:
+                        # Same-segment free: the local slot table.
+                        local = slot - slot_base
+                        address = addresses[local]
+                        if address is None:
+                            continue
+                        addresses[local] = None
+                        dispatch += 1
+                        position = owners[local]
+                        stack = int_stacks[position]
+                        if stack is not None:
+                            if freed_bounded[position]:
+                                pools[position]._note_freed(address)
+                            else:
+                                freed_of[position].add(address)
+                            warm_frees[position] += 1
+                            stats_of[position].live_payload -= slot_sizes[local]
+                            stack.append(address)
+                        else:
+                            pools[position].free(address)
+                    elif slot >= 0:
+                        # Cross-segment free: release through the carried
+                        # survivor table, exactly as ComposedAllocator.free
+                        # would (dispatch charge, owner pop, pool free).
+                        entry = survivors.pop(slot, None)
+                        if entry is None:
+                            continue
+                        address, position, _size = entry
+                        dispatch += 1
+                        owner_of.pop(address, None)
+                        pools[position].free(address)
+                    else:
+                        # Never-allocated id or double free: skipped.
+                        continue
+                if track_timeline:
+                    footprint_timeline.append(
+                        (timestamps[index], allocator.total_footprint)
+                    )
+        finally:
+            allocator._dispatch_accesses += dispatch
+            for position in range(pool_count):
+                allocs = warm_allocs[position]
+                frees = warm_frees[position]
+                if allocs or frees:
+                    stats = stats_of[position]
+                    accesses = stats.accesses
+                    accesses.reads += allocs + frees
+                    accesses.writes += 2 * allocs + frees
+                    stats.free_list_visits += allocs
+                    stats.alloc_ops += allocs
+                    stats.free_ops += frees
+                    stats.live_blocks += allocs - frees
+                    stats.live_gross += (allocs - frees) * gross_of[position]
+                stack = int_stacks[position]
+                if stack is None:
+                    continue
+                if stack:
+                    gross = gross_of[position]
+                    name = pools[position].name
+                    lists_[position]._blocks += [
+                        Block(address, gross, pool_name=name) for address in stack
+                    ]
+                if frees or carve_pushed[position]:
+                    lists_[position].last_insertion_visits = 1
+            # Reconcile this segment's survivors into the owner map, the
+            # kernel pools' live tables, and the carried survivor table.
+            for local, address in enumerate(addresses):
+                if address is not None:
+                    position = owners[local]
+                    pool = pools[position]
+                    owner_of[address] = pool
+                    if int_stacks[position] is not None:
+                        live_of[position][address] = Block(
+                            address,
+                            gross_of[position],
+                            BlockStatus.ALLOCATED,
+                            slot_sizes[local],
+                            pool.name,
+                        )
+                    survivors[slot_base + local] = (
+                        address,
+                        position,
+                        slot_sizes[local],
+                    )
+            self.oom_failures += oom_failures
+
+    # -- results -----------------------------------------------------------
+
+    def _payload_accesses(self) -> dict[str, float]:
+        if self._fast:
+            return {
+                self._pools[position].name: self._payload_totals[position]
+                for position in self._payload_order
+            }
+        return dict(self._payload_by_name)
+
+    def snapshot(self, configuration_id: str = "") -> ProfileResult:
+        """Cumulative :class:`ProfileResult` at the current segment boundary.
+
+        A pure read of the live counters — taking snapshots does not change
+        what later segments or :meth:`finish` produce.  Windowed analysis
+        differentiates consecutive snapshots into per-window metrics.
+        """
+        return self.profiler._collect(
+            self.allocator,
+            _TraceHandle(self.name, self.events_seen),
+            configuration_id,
+            self._payload_accesses(),
+        )
+
+    def finish(self, configuration_id: str = "") -> ProfileResult:
+        """Final :class:`ProfileResult` over everything replayed so far.
+
+        Byte-identical to what :meth:`Profiler.run` returns for the
+        concatenated trace (same totals, per-level metrics, per-pool
+        snapshots and ``__profile__`` section).
+        """
+        result = self.snapshot(configuration_id)
+        result.per_pool["__profile__"] = {
+            "oom_failures": self.oom_failures,
+            "footprint_timeline_points": len(self.footprint_timeline),
+        }
+        if self.profiler.options.track_footprint_timeline:
+            result.per_pool["__timeline__"] = self.footprint_timeline
+        return result
+
+
 def profile_trace(
     allocator: ComposedAllocator,
     trace: AllocationTrace,

@@ -1,0 +1,304 @@
+"""Windowed (phase) Pareto analysis over a segmented replay.
+
+Server traffic is not stationary: session churn, request bursts and
+diurnal load curves mean the allocator configuration that wins the whole
+trace can lose badly during individual phases.  This module cuts a trace
+into windows (a fixed event count or a fixed timestamp span), replays
+every configuration segment by segment with a
+:class:`~repro.profiling.profiler.SegmentReplaySession`, and keeps one
+:class:`~repro.core.pareto.IncrementalParetoFront` *per window* over the
+per-window metric deltas — so a report can show not just the global front
+but which configurations dominate each phase, and where the front shifts.
+
+The cumulative totals of the windowed replay are byte-identical to the
+one-shot batch evaluation path (``tests/test_stream.py`` asserts it), so
+the :class:`~repro.core.results.ResultDatabase` this analysis produces is
+the same artefact ``dmexplore explore`` would write, with a ``windows``
+section attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.pareto import IncrementalParetoFront
+from ..core.results import ExplorationRecord, ResultDatabase
+from ..profiling.compiled import CompiledTrace, SegmentedTraceCompiler
+from ..profiling.events import AllocationEvent
+from ..profiling.metrics import MetricSet, metric_keys
+from ..profiling.profiler import Profiler, ProfilerOptions, SegmentReplaySession
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """How to cut a trace into analysis windows.
+
+    Exactly one of ``events`` (window = that many consecutive events) and
+    ``time`` (window = that many timestamp ticks: events whose timestamp
+    falls in ``[k*time, (k+1)*time)``) must be set.  Time windows split on
+    bucket *increase* only, so a trace with non-monotonic timestamps still
+    yields contiguous event runs; empty buckets produce no window.
+    """
+
+    events: int | None = None
+    time: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.events is None) == (self.time is None):
+            raise ValueError("set exactly one of events= and time=")
+        size = self.events if self.events is not None else self.time
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+
+    @property
+    def mode(self) -> str:
+        return "events" if self.events is not None else "time"
+
+    @property
+    def size(self) -> int:
+        return self.events if self.events is not None else self.time
+
+    def split(self, events: Iterable[AllocationEvent]) -> list[list[AllocationEvent]]:
+        """Cut an event sequence into the window chunks this spec defines."""
+        chunks: list[list[AllocationEvent]] = []
+        current: list[AllocationEvent] = []
+        if self.events is not None:
+            for event in events:
+                current.append(event)
+                if len(current) >= self.events:
+                    chunks.append(current)
+                    current = []
+        else:
+            bucket: int | None = None
+            for event in events:
+                position = event.timestamp // self.time
+                if bucket is None:
+                    bucket = position
+                elif position > bucket:
+                    chunks.append(current)
+                    current = []
+                    bucket = position
+                current.append(event)
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def as_dict(self) -> dict:
+        return {"mode": self.mode, "size": self.size}
+
+
+class WindowedAnalysis:
+    """Per-window Pareto fronts accumulated while configurations stream in.
+
+    One :class:`IncrementalParetoFront` per window, fed the per-window
+    metric deltas of every configuration offered to :meth:`offer`.  The
+    analysis never stores per-configuration window metrics outside the
+    fronts, so memory is O(windows x front size), not O(windows x
+    configurations).
+    """
+
+    def __init__(
+        self,
+        spec: WindowSpec,
+        boundaries: list[dict],
+        metrics: list[str] | None = None,
+    ) -> None:
+        self.spec = spec
+        #: Per-window descriptors: index, event count, end timestamp.
+        self.boundaries = boundaries
+        self.metrics = list(metrics) if metrics else metric_keys()
+        self.fronts: list[IncrementalParetoFront] = [
+            IncrementalParetoFront() for _ in boundaries
+        ]
+        self.configurations = 0
+
+    def __len__(self) -> int:
+        return len(self.boundaries)
+
+    def offer(self, label: str, window_metrics: list[MetricSet]) -> None:
+        """Offer one configuration's per-window metrics to every front."""
+        if len(window_metrics) != len(self.fronts):
+            raise ValueError(
+                f"expected {len(self.fronts)} window metric sets, "
+                f"got {len(window_metrics)}"
+            )
+        self.configurations += 1
+        for front, metric_set in zip(self.fronts, window_metrics):
+            front.add(
+                {"label": label, "metrics": metric_set},
+                metric_set.values(self.metrics),
+            )
+
+    def front_labels(self, index: int) -> list[str]:
+        return [member["label"] for member in self.fronts[index]]
+
+    def shifts(self) -> list[int]:
+        """Window indices whose front membership differs from the previous.
+
+        The phase-change signal: a shift at window ``k`` means the set of
+        configurations that are optimal *within* window ``k`` is not the
+        set that was optimal within window ``k-1``.
+        """
+        shifted = []
+        for index in range(1, len(self.fronts)):
+            if set(self.front_labels(index)) != set(self.front_labels(index - 1)):
+                shifted.append(index)
+        return shifted
+
+    def status_line(self) -> str:
+        """One-line live summary (consumed by the dashboard sink)."""
+        if not self.fronts:
+            return f"windows   : none ({self.spec.mode} {self.spec.size})"
+        last = len(self.fronts) - 1
+        sizes = [len(front) for front in self.fronts]
+        return (
+            f"windows   : {len(self.fronts)} x {self.spec.size} {self.spec.mode}"
+            f" | front[{last}] {sizes[last]}"
+            f" | fronts {min(sizes)}..{max(sizes)}"
+        )
+
+    def as_dict(self) -> dict:
+        """The ``windows`` artefact section (JSON-serialisable)."""
+        shifted = set(self.shifts())
+        windows = []
+        for boundary, front in zip(self.boundaries, self.fronts):
+            entry = dict(boundary)
+            entry["front_size"] = len(front)
+            entry["shifted"] = boundary["index"] in shifted
+            entry["front"] = [
+                {"label": member["label"], "metrics": member["metrics"].as_dict()}
+                for member in front
+            ]
+            windows.append(entry)
+        return {
+            "mode": self.spec.mode,
+            "size": self.spec.size,
+            "count": len(self.fronts),
+            "metrics": list(self.metrics),
+            "configurations": self.configurations,
+            "shifts": sorted(shifted),
+            "windows": windows,
+        }
+
+
+def compile_windows(
+    trace, spec: WindowSpec
+) -> tuple[list[CompiledTrace], list[dict], str]:
+    """Compile a trace into window-aligned segments, once.
+
+    Segments are allocator-independent, so one compilation is shared by
+    every configuration of the sweep.  Returns the segments, the window
+    boundary descriptors, and the stream fingerprint (equal to
+    ``trace.fingerprint()``).
+    """
+    chunks = spec.split(trace)
+    compiler = SegmentedTraceCompiler(trace.name)
+    segments = [compiler.feed(chunk) for chunk in chunks]
+    boundaries = [
+        {
+            "index": index,
+            "events": len(chunk),
+            "end_timestamp": chunk[-1].timestamp,
+        }
+        for index, chunk in enumerate(chunks)
+    ]
+    return segments, boundaries, compiler.fingerprint()
+
+
+def _window_deltas(snapshots: list[MetricSet]) -> list[MetricSet]:
+    """Differentiate cumulative boundary totals into per-window metrics.
+
+    Accesses, energy and cycles are flow quantities (the window's delta);
+    footprint is a running peak, so each window reports the cumulative
+    peak at its end — the memory a platform must actually provision to
+    survive through that window.
+    """
+    deltas = []
+    previous = MetricSet()
+    for totals in snapshots:
+        deltas.append(
+            MetricSet(
+                accesses=totals.accesses - previous.accesses,
+                footprint=totals.footprint,
+                energy_nj=totals.energy_nj - previous.energy_nj,
+                cycles=totals.cycles - previous.cycles,
+            )
+        )
+        previous = totals
+    return deltas
+
+
+def windowed_exploration(
+    engine,
+    spec: WindowSpec,
+    metrics: list[str] | None = None,
+    sink=None,
+) -> tuple[ResultDatabase, WindowedAnalysis]:
+    """Run a windowed exploration over an engine's whole enumeration.
+
+    Every enumerated configuration is replayed segment by segment with a
+    :class:`SegmentReplaySession`; cumulative snapshots at each window
+    boundary are differentiated into per-window metrics and offered to the
+    per-window fronts.  The returned database holds the *final* records —
+    byte-identical to :meth:`ExplorationEngine.explore` — with the
+    analysis attached as its ``windows`` section; when the engine has a
+    result store, each window's record is persisted under the
+    window-qualified fingerprint ``<fingerprint>:w<index>`` (and the final
+    record under the plain fingerprint, warming ordinary explorations).
+    """
+    trace = engine.trace
+    segments, boundaries, fingerprint = compile_windows(trace, spec)
+    assert fingerprint == trace.fingerprint()
+    metrics = list(metrics) if metrics else list(engine.settings.metrics)
+    analysis = WindowedAnalysis(spec, boundaries, metrics=metrics)
+    if sink is not None and hasattr(sink, "attach_windows"):
+        sink.attach_windows(analysis)
+    database = ResultDatabase(name=f"{trace.name}-windowed")
+    database.windows = {}
+    profiler_options = ProfilerOptions(
+        payload_access_factor=engine.settings.payload_access_factor
+    )
+    store = engine.store
+    for index, point in engine.enumerate_points():
+        label = f"{engine.settings.label_prefix}{index:05d}"
+        configuration = engine.configuration_for(point, label=label)
+        built = engine.factory.build(configuration)
+        profiler = Profiler(
+            built.mapping, energy_model=engine.energy_model, options=profiler_options
+        )
+        session = SegmentReplaySession(profiler, built.allocator, name=trace.name)
+        snapshots = []
+        for segment in segments:
+            session.replay_segment(segment)
+            snapshots.append(session.snapshot(configuration.configuration_id).totals)
+        profile = session.finish(configuration.configuration_id)
+        window_metrics = _window_deltas(snapshots)
+        analysis.offer(configuration.configuration_id, window_metrics)
+        record = ExplorationRecord(
+            configuration=configuration,
+            metrics=profile.totals,
+            trace_name=trace.name,
+            oom_failures=session.oom_failures,
+        )
+        database.add(record)
+        if sink is not None:
+            sink.accept(record)
+        if store is not None:
+            store.put(engine.fingerprint, point, record, spec_hash=engine.spec_hash)
+            for window_index, metric_set in enumerate(window_metrics):
+                window_record = ExplorationRecord(
+                    configuration=configuration,
+                    metrics=metric_set,
+                    trace_name=f"{trace.name}",
+                    oom_failures=session.oom_failures,
+                )
+                store.put(
+                    f"{engine.fingerprint}:w{window_index}",
+                    point,
+                    window_record,
+                    spec_hash=engine.spec_hash,
+                )
+    engine._attach_provenance(database)
+    database.windows = analysis.as_dict()
+    return database, analysis

@@ -14,6 +14,11 @@ from .synthetic import (
     PhasedWorkload,
     UniformRandomWorkload,
 )
+from .server import (
+    DiurnalWorkload,
+    RequestBurstWorkload,
+    SessionChurnWorkload,
+)
 from .traces import TraceFormatError, load_trace, round_trip_equal, save_trace
 from .vtc import (
     BITSTREAM_SEGMENT_BYTES,
@@ -29,10 +34,13 @@ __all__ = [
     "DEFAULT_CONTROL_SIZES",
     "DEFAULT_FLOW_STATE_SIZES",
     "DEFAULT_PACKET_SIZES",
+    "DiurnalWorkload",
     "EasyportWorkload",
     "FixedSizesWorkload",
     "LiveObject",
     "PhasedWorkload",
+    "RequestBurstWorkload",
+    "SessionChurnWorkload",
     "STRIPE_BUFFER_BYTES",
     "TREE_NODE_BYTES",
     "TraceBuilder",

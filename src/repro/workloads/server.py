@@ -1,0 +1,178 @@
+"""Server-traffic workload generators.
+
+The paper's case studies are embedded applications; modern allocator
+exploration (e.g. block allocation in LLM inference servers) faces the
+same configuration problem under *server* traffic: sessions arriving and
+departing with long-lived state, requests bursting short-lived buffers,
+and load that swings over the day.  These three generators model those
+patterns deterministically so the same exploration flow — and the
+windowed phase analysis of :mod:`repro.stream.windows`, which is what
+makes their non-stationarity visible — applies unchanged.
+
+All three are seeded: identical seeds produce identical traces, so every
+configuration of a sweep replays the exact same traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..profiling.tracer import AllocationTrace
+from .base import TraceBuilder, Workload
+
+
+@dataclass
+class SessionChurnWorkload(Workload):
+    """Session arrival/departure churn with per-session state blocks.
+
+    Each arriving session allocates a long-lived state block (connection
+    context) plus a handful of short-lived setup buffers; sessions depart
+    after an exponentially distributed dwell time, releasing their state.
+    The live-session population wanders around ``target_sessions``,
+    producing the slowly-shifting footprint floor typical of connection
+    servers.
+    """
+
+    ticks: int = 1200
+    target_sessions: int = 40
+    session_state: int = 512
+    setup_sizes: tuple[int, ...] = (64, 96, 160)
+    mean_dwell: int = 200
+    name: str = "session_churn"
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        """One arrival-rate-balanced run of ``ticks`` server ticks."""
+        builder = TraceBuilder(self.name, seed)
+        rng = builder.rng
+        sessions: list[int] = []  # live session-state request ids
+        arrival_rate = self.target_sessions / self.mean_dwell
+        for _ in range(self.ticks):
+            # Arrivals: Bernoulli-thinned Poisson around the balance rate,
+            # biased up when under target and down when over.
+            pressure = 1.0 - len(sessions) / (2.0 * self.target_sessions)
+            if rng.random() < arrival_rate * (1.0 + pressure):
+                sessions.append(
+                    builder.allocate(self.session_state, tag="session")
+                )
+                for size in self.setup_sizes:
+                    builder.allocate(
+                        size,
+                        lifetime=rng.randint(1, 8),
+                        tag="setup",
+                    )
+            # Departures: each live session leaves with prob 1/mean_dwell.
+            if sessions and rng.random() < len(sessions) / self.mean_dwell:
+                index = rng.randrange(len(sessions))
+                request_id = sessions[index]
+                sessions[index] = sessions[-1]
+                sessions.pop()
+                builder.release(request_id, tag="session")
+            builder.tick()
+            builder.flush_due()
+        for request_id in sessions:
+            builder.release(request_id, tag="session")
+        return builder.finish()
+
+    def describe(self) -> str:
+        """One-line description: tick count and target session population."""
+        return (
+            f"{self.ticks} ticks of session churn around "
+            f"{self.target_sessions} live sessions"
+        )
+
+
+@dataclass
+class RequestBurstWorkload(Workload):
+    """Request/response bursts of short-lived blocks over pooled sessions.
+
+    Models the block-allocation pattern of a batching inference server:
+    each request claims a chain of fixed-size blocks (grown in steps as
+    the response streams out) and releases the whole chain on completion.
+    Requests arrive in bursts of varying depth, so the footprint sawtooths
+    the way a vLLM-style block pool does under bursty decode traffic.
+    """
+
+    bursts: int = 60
+    max_batch: int = 12
+    block_size: int = 256
+    max_blocks: int = 8
+    header_size: int = 48
+    gap_ticks: int = 6
+    name: str = "request_bursts"
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        """Emit ``bursts`` request batches, each streamed block by block."""
+        builder = TraceBuilder(self.name, seed)
+        rng = builder.rng
+        for _ in range(self.bursts):
+            batch = rng.randint(1, self.max_batch)
+            chains: list[list[int]] = []
+            for _request in range(batch):
+                chain = [builder.allocate(self.header_size, tag="request")]
+                blocks = rng.randint(1, self.max_blocks)
+                for _block in range(blocks):
+                    chain.append(builder.allocate(self.block_size, tag="kvblock"))
+                    builder.tick()
+                chains.append(chain)
+            # Responses complete in arrival order; each chain is released
+            # newest block first (stack order, the pool-friendly pattern).
+            for chain in chains:
+                for request_id in reversed(chain):
+                    builder.release(request_id, tag="kvblock")
+                builder.tick()
+            builder.tick(self.gap_ticks)
+        return builder.finish()
+
+    def describe(self) -> str:
+        """One-line description: burst count, batch width and block size."""
+        return (
+            f"{self.bursts} request bursts (batch <= {self.max_batch}, "
+            f"{self.block_size}-byte blocks)"
+        )
+
+
+@dataclass
+class DiurnalWorkload(Workload):
+    """Sinusoidal day/night load curve over a mixed allocation profile.
+
+    The request rate follows one (or more) sine periods between
+    ``min_rate`` and ``max_rate`` allocations per tick, with sizes drawn
+    from a heavy-tailed mix.  Peak hours and troughs give the windowed
+    analysis clearly distinct phases on a single trace.
+    """
+
+    ticks: int = 1440
+    periods: int = 2
+    min_rate: int = 1
+    max_rate: int = 6
+    sizes: tuple[int, ...] = (32, 64, 64, 128, 128, 256, 1024)
+    mean_lifetime: int = 30
+    name: str = "diurnal"
+
+    def generate(self, seed: int = 0) -> AllocationTrace:
+        """One run of ``ticks`` ticks over ``periods`` full load cycles."""
+        builder = TraceBuilder(self.name, seed)
+        rng = builder.rng
+        span = self.max_rate - self.min_rate
+        for tick in range(self.ticks):
+            phase = 2.0 * math.pi * self.periods * tick / self.ticks
+            rate = self.min_rate + span * 0.5 * (1.0 - math.cos(phase))
+            count = int(rate) + (1 if rng.random() < rate - int(rate) else 0)
+            for _ in range(count):
+                size = rng.choice(self.sizes)
+                lifetime = max(
+                    1, int(rng.expovariate(1.0 / self.mean_lifetime))
+                )
+                builder.allocate(size, lifetime=lifetime, tag="diurnal")
+            builder.tick()
+            builder.flush_due()
+        return builder.finish()
+
+    def describe(self) -> str:
+        """One-line description: tick count and the load-rate swing."""
+        return (
+            f"{self.ticks} ticks of diurnal load, "
+            f"{self.min_rate}-{self.max_rate} allocations/tick over "
+            f"{self.periods} period(s)"
+        )

@@ -319,3 +319,67 @@ class TestInProcessCluster:
         assert database.provenance.shard == ""
         assert coordinator.stats["leases_granted"] >= 3
         assert coordinator.stats["workers_seen"] == {"matching"}
+
+
+class TestAutoCompaction:
+    """Coordinator-driven compaction of the shared store between leases."""
+
+    def _coordinator(self, tmp_path, threshold):
+        params = {"path": str(tmp_path / "shared.jsonl")}
+        if threshold is not None:
+            params["auto_compact"] = threshold
+        spec = smoke_spec(store={"name": "jsonl", "params": params})
+        return Coordinator(spec, log=lambda *_args: None)
+
+    def test_threshold_reaches_only_the_coordinator_store(self, tmp_path):
+        coordinator = self._coordinator(tmp_path, threshold=3)
+        assert coordinator.store.auto_compact == 3
+        # The document announced to workers stays threshold-free, so the
+        # coordinator is the only process that ever rewrites the file.
+        announced = coordinator._spec_document()
+        assert "auto_compact" not in announced["store"]["params"]
+        coordinator.store.close()
+
+    def test_compacts_when_dead_entries_cross_the_threshold(self, tmp_path):
+        coordinator = self._coordinator(tmp_path, threshold=3)
+        engine = coordinator._resolved.engine
+        point = engine.space.point_at(0)
+        record = engine.run_point(point)
+        # Workers re-evaluating a re-leased range race blind: each handle
+        # opened before the others' appends re-commits the same key, and
+        # every duplicate is a dead entry after the coordinator's refresh.
+        writers = [ResultStore(coordinator.store.path) for _ in range(4)]
+        for writer in writers:
+            writer.put("fp", point, record)
+        for writer in writers:
+            writer.close()
+        coordinator._maybe_compact()
+        assert coordinator.stats["auto_compactions"] == 1
+        assert coordinator.store.dead_entries == 0
+        assert coordinator.store.get("fp", point) is not None
+        # Nothing dead any more: the next quiet point is a no-op.
+        coordinator._maybe_compact()
+        assert coordinator.stats["auto_compactions"] == 1
+        coordinator.store.close()
+
+    def test_below_threshold_is_left_alone(self, tmp_path):
+        coordinator = self._coordinator(tmp_path, threshold=10)
+        engine = coordinator._resolved.engine
+        point = engine.space.point_at(0)
+        record = engine.run_point(point)
+        racers = [ResultStore(coordinator.store.path) for _ in range(2)]
+        for writer in racers:
+            writer.put("fp", point, record)
+        for writer in racers:
+            writer.close()
+        coordinator._maybe_compact()
+        assert coordinator.stats["auto_compactions"] == 0
+        assert coordinator.store.dead_entries == 1
+        coordinator.store.close()
+
+    def test_store_without_threshold_is_never_touched(self, tmp_path):
+        coordinator = self._coordinator(tmp_path, threshold=None)
+        assert coordinator.store.auto_compact is None
+        coordinator._maybe_compact()
+        assert coordinator.stats["auto_compactions"] == 0
+        coordinator.store.close()

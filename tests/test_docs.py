@@ -36,6 +36,7 @@ DOC_FILES = [
     REPO / "docs" / "exploring.md",
     REPO / "docs" / "performance.md",
     REPO / "docs" / "store.md",
+    REPO / "docs" / "workloads.md",
 ]
 
 FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
@@ -186,6 +187,16 @@ class TestApiDocRuns:
         assert run_line("dmexplore list") == 0
         output = capsys.readouterr().out
         assert "strategies:" in output
+
+
+class TestWorkloadsDocRuns:
+    def test_workloads_python_blocks_run_verbatim(self, tmp_path, monkeypatch):
+        """Every python block of docs/workloads.md executes in order."""
+        monkeypatch.chdir(tmp_path)
+        blocks = fenced_blocks(REPO / "docs" / "workloads.md", "python")
+        assert blocks, "workloads.md should contain runnable python examples"
+        for block in blocks:
+            exec(compile(block, "workloads.md", "exec"), {})
 
 
 class TestDistributedDocRuns:

@@ -117,12 +117,14 @@ class TestParser:
         assert len(parsed.results) == 1
 
     def test_strict_mode_raises(self):
-        text = "R|only|three|fields\n"
+        # The malformed line must not be the last one: a torn final line is
+        # tolerated (see TestTornTail), an interior one is a real error.
+        text = "R|only|three|fields\n# trailing comment\n"
         with pytest.raises(LogParseError):
             parse_log_text(text, strict=True)
 
     def test_level_for_unknown_config_rejected_in_strict_mode(self):
-        text = "L|ghost|main_memory|1|2|3|4.0\n"
+        text = "L|ghost|main_memory|1|2|3|4.0\n# trailing comment\n"
         with pytest.raises(LogParseError):
             parse_log_text(text, strict=True)
 
@@ -139,3 +141,55 @@ class TestParser:
         text = log_to_string([make_result()], trace=make_trace(5), include_events=True)
         parsed = ProfilingLogParser(keep_events=True).parse_string(text)
         assert parsed.result_for("cfg1").per_pool["__events__"]["count"] == 10
+
+
+class TestTornTail:
+    """Round-trip gaps surfaced by streaming ingestion: a log captured while
+    a writer is mid-line (or after a crash) must still parse."""
+
+    def truncated_log(self):
+        # The last line is a P record (event echo off); chop it mid-field,
+        # as a torn write would.  (A torn E line never errors at all: the
+        # parser counts event lines without validating their fields.)
+        text = log_to_string([make_result()])
+        return text.rstrip("\n")[:-4]
+
+    def test_truncated_final_line_skipped_with_counter(self):
+        parsed = parse_log_text(self.truncated_log())
+        assert parsed.truncated_tail == 1
+        assert parsed.skipped_lines == 1
+        assert len(parsed.results) == 1
+
+    def test_truncated_final_line_tolerated_in_strict_mode(self):
+        parsed = parse_log_text(self.truncated_log(), strict=True)
+        assert parsed.truncated_tail == 1
+
+    def test_truncated_result_line_tolerated(self):
+        text = log_to_string([make_result()]) + "R|cfg2|trace|12"
+        parsed = parse_log_text(text, strict=True)
+        assert parsed.truncated_tail == 1
+        assert list(parsed.results) == ["cfg1"]
+
+    def test_intact_log_reports_no_tail(self):
+        text = log_to_string([make_result()], trace=make_trace(5), include_events=True)
+        parsed = parse_log_text(text, strict=True)
+        assert parsed.truncated_tail == 0
+        assert parsed.skipped_lines == 0
+
+
+class TestCommentInterleaving:
+    """Comments interleaved *between* records of a log (progress markers a
+    long-running writer emits) must be transparent to the parser."""
+
+    def test_comments_between_every_record(self):
+        text = log_to_string([make_result()], trace=make_trace(5), include_events=True)
+        interleaved = "".join(f"# mark\n{line}\n" for line in text.splitlines())
+        parsed = parse_log_text(interleaved, strict=True)
+        assert len(parsed.results) == 1
+        assert parsed.event_lines == 10
+        assert parsed.skipped_lines == 0
+
+    def test_comment_as_final_line_is_not_a_torn_tail(self):
+        text = log_to_string([make_result()]) + "# writer still running\n"
+        parsed = parse_log_text(text, strict=True)
+        assert parsed.truncated_tail == 0
