@@ -51,6 +51,18 @@ bench-stream:
 bench-stream-full:
 	BENCH_STREAM_FULL=1 $(RUN) -m pytest benchmarks/test_stream_scale.py -q -s
 
+# Search-quality benchmark: the surrogate portfolio's hypervolume-vs-
+# evaluations curves against the exhaustive ground truth, with hard gates
+# (every strategy >= 95% HV at a 5% budget, portfolio best at 1%);
+# writes BENCH_search.json.
+bench-search:
+	$(RUN) -m pytest benchmarks/test_search_quality.py -q -s
+
+# Same, additionally grinding the real VTC decoder trace through the
+# protocol (full exhaustive sweep of its 6480-point space).
+bench-search-full:
+	BENCH_SEARCH_FULL=1 $(RUN) -m pytest benchmarks/test_search_quality.py -q -s
+
 # Streaming verification: the segmented replay and the windowed analysis
 # must be byte-identical to the one-shot batch path (the property tests),
 # and a CLI `dmexplore windows` artefact must carry the same records as
@@ -151,4 +163,4 @@ verify-spec:
 	@echo "spec-driven runs reproduce the flag invocations byte-identically"
 	rm -rf $(SPEC_DIR)
 
-.PHONY: verify bench bench-eval bench-eval-full bench-store bench-store-full bench-stream bench-stream-full verify-docs verify-bench verify-shards verify-cluster verify-spec verify-store verify-stream
+.PHONY: verify bench bench-eval bench-eval-full bench-store bench-store-full bench-stream bench-stream-full bench-search bench-search-full verify-docs verify-bench verify-shards verify-cluster verify-spec verify-store verify-stream

@@ -88,6 +88,7 @@ class RunResult:
             "store_loaded": self.database.store_loaded,
             "prune_skipped": self.database.prune_skipped,
             "prune_predicted": self.database.prune_predicted,
+            "surrogate_skips": self.database.surrogate_skips,
         }
 
     def pareto_records(self, metrics: list[str] | None = None):

@@ -65,6 +65,7 @@ from ..core.search import (
     SearchStrategy,
 )
 from ..core.space import STANDARD_SPACES
+from ..core.strategies import NSGA2Search, SurrogateSearch, TPESearch
 from ..memhier.hierarchy import embedded_three_level, embedded_two_level
 from ..workloads.synthetic import BurstyWorkload, UniformRandomWorkload
 from ..workloads.easyport import EasyportWorkload
@@ -379,6 +380,24 @@ def _populate() -> None:
         search_strategy_factory(EvolutionarySearch),
         defaults={"budget": DEFAULT_SEARCH_BUDGET},
         description="(mu + lambda) evolutionary search, Pareto-rank selection",
+    )
+    strategies.register(
+        "nsga2",
+        search_strategy_factory(NSGA2Search),
+        defaults={"budget": DEFAULT_SEARCH_BUDGET},
+        description="NSGA-II: non-dominated sorting + crowding-distance selection",
+    )
+    strategies.register(
+        "tpe",
+        search_strategy_factory(TPESearch),
+        defaults={"budget": DEFAULT_SEARCH_BUDGET},
+        description="TPE sampler: model good-vs-rest densities, sample the ratio",
+    )
+    strategies.register(
+        "surrogate",
+        search_strategy_factory(SurrogateSearch),
+        defaults={"budget": DEFAULT_SEARCH_BUDGET},
+        description="random-forest surrogate: model-rank a pool, replay the elite",
     )
 
     backends.register(

@@ -650,6 +650,34 @@ def _command_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _strategy_params_line(entry) -> str | None:
+    """The tunable-params signature of a search-strategy entry, or ``None``.
+
+    Strategies wrapped by :func:`~repro.api.registry.search_strategy_factory`
+    expose their class; its constructor signature (minus the arguments the
+    experiment layer supplies: engine, budget, metrics, prune settings) is
+    exactly what ``strategy.params`` accepts, with the shown defaults.
+    """
+    import inspect
+
+    cls = getattr(entry.factory, "strategy_class", None)
+    if cls is None:
+        return None
+    supplied = {"self", "engine", "budget", "metrics", "prune", "prune_fraction"}
+    parts = [f"budget={entry.defaults.get('budget', DEFAULT_SEARCH_BUDGET)}"]
+    for name, parameter in inspect.signature(cls.__init__).parameters.items():
+        if name in supplied or parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if parameter.default is inspect.Parameter.empty:
+            parts.append(name)
+        else:
+            parts.append(f"{name}={parameter.default}")
+    return "params: " + ", ".join(parts)
+
+
 def _command_list(args: argparse.Namespace) -> int:
     kinds = [args.kind] if args.kind else sorted(LIST_KINDS)
     for position, kind in enumerate(kinds):
@@ -659,6 +687,9 @@ def _command_list(args: argparse.Namespace) -> int:
         for entry in LIST_KINDS[kind].items():
             description = entry.description or "(no description)"
             print(f"  {entry.name:<14} {description}")
+            params_line = _strategy_params_line(entry)
+            if params_line is not None:
+                print(f"  {'':<14} {params_line}")
     return 0
 
 

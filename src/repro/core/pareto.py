@@ -230,6 +230,112 @@ def hypervolume_2d(
     return area
 
 
+def reference_point(
+    vectors: Sequence[Sequence[float]],
+    margin: float = 0.1,
+) -> tuple[float, ...]:
+    """Auto-derive a hypervolume reference point from a vector set.
+
+    The reference is the "worst corner" of the vectors — the per-objective
+    maximum — pushed outward by ``margin`` of the per-objective span, so
+    every vector (including the per-objective worst ones, which would
+    otherwise sit *on* the reference and contribute zero volume) dominates
+    a region of positive measure.  Objectives with zero span are pushed by
+    ``margin`` of their magnitude instead (or by ``margin`` itself when the
+    value is zero), keeping the reference strictly worse on every axis.
+
+    Derive the reference once from a fixed vector set (e.g. an exhaustive
+    ground truth) and reuse it for every front you compare — hypervolumes
+    against different references are not comparable.
+    """
+    if not vectors:
+        raise ValueError("cannot derive a reference point from no vectors")
+    if margin < 0:
+        raise ValueError("reference margin must be non-negative")
+    dimensions = len(vectors[0])
+    lows = [min(vector[d] for vector in vectors) for d in range(dimensions)]
+    highs = [max(vector[d] for vector in vectors) for d in range(dimensions)]
+    reference = []
+    for low, high in zip(lows, highs):
+        span = high - low
+        if span == 0:
+            span = abs(high) if high != 0 else 1.0
+        reference.append(high + margin * span)
+    return tuple(reference)
+
+
+def hypervolume(
+    vectors: Sequence[Sequence[float]],
+    reference: Sequence[float],
+) -> float:
+    """Hypervolume dominated by an n-D front w.r.t. a reference point.
+
+    The standard quality indicator generalised to any number of objectives
+    (all minimised; larger is better): the measure of the region dominated
+    by at least one vector and bounded by ``reference``.  Computed with the
+    WFG-style inclusion–exclusion recursion — exact, and fast for the small
+    fronts design-space exploration produces (tens of points); it is *not*
+    meant for fronts of thousands of points.  On 2-D inputs it agrees with
+    :func:`hypervolume_2d` (property-tested).
+
+    Vectors outside the reference box contribute nothing; a vector on the
+    reference boundary contributes zero volume.  Use
+    :func:`reference_point` to derive a reference from a ground-truth set.
+    """
+    reference = tuple(float(value) for value in reference)
+    dimensions = len(reference)
+    points = []
+    for vector in vectors:
+        if len(vector) != dimensions:
+            raise ValueError(
+                f"vector of length {len(vector)} against a "
+                f"{dimensions}-D reference point"
+            )
+        candidate = tuple(float(value) for value in vector)
+        if all(value < bound for value, bound in zip(candidate, reference)):
+            points.append(candidate)
+    if not points:
+        return 0.0
+    # Only the non-dominated, de-duplicated subset carries volume; pruning
+    # it here keeps the recursion over limit sets small.
+    points = _unique_non_dominated(points)
+    points.sort()
+    return _wfg_volume(points, reference)
+
+
+def _unique_non_dominated(points: list[tuple[float, ...]]) -> list[tuple[float, ...]]:
+    """The distinct non-dominated members of ``points``."""
+    distinct = list(dict.fromkeys(points))
+    return [distinct[index] for index in non_dominated(distinct)]
+
+
+def _wfg_volume(
+    points: list[tuple[float, ...]],
+    reference: tuple[float, ...],
+) -> float:
+    """Inclusion–exclusion over a sorted, non-dominated, distinct point set.
+
+    Each point contributes its own box volume minus the volume it shares
+    with the points after it (the hypervolume of its "limit set": every
+    later point clipped to be no better than this one in any objective).
+    """
+    total = 0.0
+    for position, point in enumerate(points):
+        own = 1.0
+        for value, bound in zip(point, reference):
+            own *= bound - value
+        later = points[position + 1 :]
+        if later:
+            limited = [
+                tuple(max(a, b) for a, b in zip(point, other)) for other in later
+            ]
+            limited = _unique_non_dominated(limited)
+            limited.sort()
+            own -= _wfg_volume(limited, reference)
+        total += own
+    return total
+
+
 def knee_point(
     items: Sequence[T],
     key: Callable[[T], Sequence[float]],

@@ -148,6 +148,12 @@ def exploration_report(
             f"{database.prune_predicted} predicted candidates skipped "
             "before profiling"
         )
+    surrogate_skips = getattr(database, "surrogate_skips", 0)
+    if surrogate_skips:
+        lines.append(
+            f"Surrogate skips: {surrogate_skips} candidates discarded on "
+            "model prediction alone (no dominance proof)"
+        )
     if database.provenance is not None and database.provenance.shard:
         lines.append(f"Shard: {database.provenance.shard} of the enumeration")
     lines.append("")

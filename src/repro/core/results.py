@@ -266,9 +266,13 @@ class ResultDatabase:
         self.store_loaded = 0
         # Dominance-pruning outcome of the producing search (0 when the
         # producer did not prune): candidates skipped before profiling, and
-        # cheap partial predictions performed to decide the skips.
+        # cheap partial predictions performed to decide the skips.  Of the
+        # skips, ``surrogate_skips`` counts those decided on a surrogate
+        # prediction alone (quorum rule or learned model) rather than on a
+        # sound dominance/infeasibility proof.
         self.prune_skipped = 0
         self.prune_predicted = 0
+        self.surrogate_skips = 0
         # Evaluation-context identity; set by the producing engine, required
         # by ``dmexplore merge`` to validate artefact compatibility.
         self.provenance: Provenance | None = None
@@ -428,10 +432,11 @@ class ResultDatabase:
                 "misses": self.store_misses,
                 "loaded": self.store_loaded,
             }
-        if self.prune_skipped or self.prune_predicted:
+        if self.prune_skipped or self.prune_predicted or self.surrogate_skips:
             payload["pruning"] = {
                 "skipped": self.prune_skipped,
                 "predicted": self.prune_predicted,
+                "surrogate": self.surrogate_skips,
             }
         if self.provenance is not None:
             payload["provenance"] = self.provenance.as_dict()
@@ -453,6 +458,7 @@ class ResultDatabase:
         pruning = payload.get("pruning", {})
         database.prune_skipped = int(pruning.get("skipped", 0))
         database.prune_predicted = int(pruning.get("predicted", 0))
+        database.surrogate_skips = int(pruning.get("surrogate", 0))
         if "provenance" in payload:
             database.provenance = Provenance.from_dict(payload["provenance"])
         database.windows = payload.get("windows", {})
@@ -476,10 +482,11 @@ class ResultDatabase:
                 "misses": self.store_misses,
                 "loaded": self.store_loaded,
             }
-        if self.prune_skipped or self.prune_predicted:
+        if self.prune_skipped or self.prune_predicted or self.surrogate_skips:
             data["pruning"] = {
                 "skipped": self.prune_skipped,
                 "predicted": self.prune_predicted,
+                "surrogate": self.surrogate_skips,
             }
         if not self.has_feasible:
             return data
@@ -517,6 +524,7 @@ class StreamingResultView:
         self.store_loaded = 0
         self.prune_skipped = 0
         self.prune_predicted = 0
+        self.surrogate_skips = 0
         self.provenance: Provenance | None = None
         self.windows: dict = {}
         self._fronts: dict[

@@ -47,7 +47,14 @@ skipped before full profiling when
 Skipped candidates therefore never (first two rules) or only in
 pathological cases (quorum rule) carry Pareto-optimal configurations; the
 skip and prediction counters are surfaced on the produced database, its
-summary, JSON artefact and text report.
+summary, JSON artefact and text report.  Quorum skips — decided by a
+surrogate prediction rather than a sound proof — are additionally counted
+in ``surrogate_skips``, alongside the skips the learned-model strategies
+perform.
+
+The modern surrogate-guided portfolio (NSGA-II, the TPE sampler and the
+random-forest surrogate search) lives in :mod:`repro.core.strategies` and
+builds on the same :class:`SearchStrategy` base.
 """
 
 from __future__ import annotations
@@ -154,6 +161,12 @@ class SearchStrategy:
         self._pruned_indices: set[int] = set()
         self.prune_skipped = 0
         self.prune_predicted = 0
+        # Of the skipped candidates, how many were discarded on a *surrogate
+        # prediction alone* (the quorum rule here, or a learned model in the
+        # surrogate strategies) rather than on a sound proof.  Always a
+        # separate counter so designers can tell recoverable, model-driven
+        # skips from provable ones.
+        self.surrogate_skips = 0
 
     # -- helpers ------------------------------------------------------------
 
@@ -249,22 +262,32 @@ class SearchStrategy:
                 # The prefix already failed allocations: provably infeasible.
                 self._count_skip(index)
                 continue
-            if self._live_front.dominates(vector) or self._surrogate_skip(vector):
-                # Either a full record dominates the candidate's lower bound
-                # (provable) or the surrogate quorum predicts domination.
+            if self._live_front.dominates(vector):
+                # A full record dominates the candidate's lower bound — a
+                # sound proof of full-vector dominance.
                 self._count_skip(index)
+                self._fold_spread(vector)
+                continue
+            if self._surrogate_skip(vector):
+                # The quorum merely *predicts* domination; counted separately
+                # so the two kinds of skip stay distinguishable downstream.
+                self._count_skip(index, surrogate=True)
                 self._fold_spread(vector)
                 continue
             self._fold_spread(vector)
             kept.append(point)
         return kept
 
-    def _count_skip(self, index: int) -> None:
+    def _count_skip(self, index: int, surrogate: bool = False) -> None:
         """Count a skipped candidate once, however often it is re-proposed,
-        so ``prune_skipped`` never exceeds ``prune_predicted``."""
+        so ``prune_skipped`` never exceeds ``prune_predicted``.  A skip
+        decided by surrogate prediction (rather than a sound proof) is
+        additionally counted in ``surrogate_skips``."""
         if index not in self._pruned_indices:
             self._pruned_indices.add(index)
             self.prune_skipped += 1
+            if surrogate:
+                self.surrogate_skips += 1
 
     def _within_budget(self, points: list[dict]) -> list[dict]:
         """Truncate a candidate generation to the remaining budget.
@@ -333,6 +356,7 @@ class SearchStrategy:
         self.engine._record_counters(database, snapshot)
         database.prune_skipped = self.prune_skipped
         database.prune_predicted = self.prune_predicted
+        database.surrogate_skips = self.surrogate_skips
         self.engine._attach_provenance(database)
         return database
 

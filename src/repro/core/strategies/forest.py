@@ -1,0 +1,249 @@
+"""A small random-forest regressor for surrogate modelling.
+
+Pure-Python CART training (variance-reduction splits, bootstrap bagging,
+per-node feature subsampling) sized for surrogate duty: a few hundred
+training rows of encoded parameter indices, a dozen trees.  No external
+dependency is required; when numpy is importable, *batch prediction*
+routes whole candidate matrices through each tree by recursive index
+partitioning.  The numpy path performs exactly the comparisons the scalar
+walk performs (same features, same thresholds, ``<=`` on the same
+values), so predictions — and therefore every search trajectory built on
+them — are identical with and without numpy, mirroring the convention of
+:mod:`repro.profiling.batch`.
+
+Randomness is injected: ``fit`` takes the caller's ``random.Random``, so a
+:class:`~repro.core.search.SearchStrategy` trains forests from its private
+seeded stream and stays deterministic and backend-independent.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+try:  # pragma: no cover - exercised implicitly on hosts with numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image has no numpy
+    _np = None
+
+#: Fraction of features examined per split node (sqrt-like subsampling for
+#: the small feature counts of allocator spaces).
+DEFAULT_FEATURE_FRACTION = 0.7
+
+
+class RegressionTree:
+    """One CART regression tree over rows of numeric feature vectors.
+
+    Nodes are stored in parallel flat lists (feature, threshold, children,
+    leaf value); internal nodes route ``row[feature] <= threshold`` to the
+    left child.  Splits greedily maximise weighted variance reduction over
+    midpoint thresholds of the sampled feature subset.
+    """
+
+    def __init__(self, max_depth: int = 6, min_samples: int = 2) -> None:
+        if max_depth <= 0 or min_samples < 2:
+            raise ValueError("max_depth must be > 0 and min_samples >= 2")
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.value: list[float] = []
+
+    def _leaf(self, targets: list[float]) -> int:
+        node = len(self.feature)
+        self.feature.append(-1)
+        self.threshold.append(0.0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(sum(targets) / len(targets))
+        return node
+
+    def _best_split(
+        self,
+        rows: list[Sequence[float]],
+        targets: list[float],
+        features: list[int],
+    ) -> tuple[int, float] | None:
+        """Best (feature, threshold) by variance reduction, or ``None``.
+
+        One sorted sweep per feature with running left/right sums turns the
+        per-threshold cost into O(1): for a split of sizes (p, n-p) the
+        summed squared error is ``sumsq - sum_l²/p - sum_r²/(n-p)``, so
+        maximising ``sum_l²/p + sum_r²/(n-p)`` maximises the reduction.
+        """
+        count = len(rows)
+        total = sum(targets)
+        baseline = total * total / count
+        best: tuple[float, int, float] | None = None
+        for feature in features:
+            order = sorted(range(count), key=lambda i: (rows[i][feature], i))
+            values = [rows[i][feature] for i in order]
+            if values[0] == values[-1]:
+                continue
+            left_sum = 0.0
+            for position in range(1, count):
+                left_sum += targets[order[position - 1]]
+                if values[position] == values[position - 1]:
+                    continue
+                right_sum = total - left_sum
+                gain = (
+                    left_sum * left_sum / position
+                    + right_sum * right_sum / (count - position)
+                    - baseline
+                )
+                # Strict improvement keeps the choice stable under
+                # permutation of equal-gain features (features iterate in
+                # the caller's sampled order, which is itself seeded).
+                if gain > 1e-9 and (best is None or gain > best[0]):
+                    threshold = (values[position] + values[position - 1]) / 2
+                    best = (gain, feature, threshold)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _grow(
+        self,
+        rows: list[Sequence[float]],
+        targets: list[float],
+        depth: int,
+        rng: random.Random,
+        feature_count: int,
+    ) -> int:
+        if (
+            depth >= self.max_depth
+            or len(rows) < self.min_samples
+            or min(targets) == max(targets)
+        ):
+            return self._leaf(targets)
+        total_features = len(rows[0])
+        sampled = rng.sample(range(total_features), feature_count)
+        split = self._best_split(rows, targets, sampled)
+        if split is None:
+            return self._leaf(targets)
+        feature, threshold = split
+        left_rows, left_targets, right_rows, right_targets = [], [], [], []
+        for row, target in zip(rows, targets):
+            if row[feature] <= threshold:
+                left_rows.append(row)
+                left_targets.append(target)
+            else:
+                right_rows.append(row)
+                right_targets.append(target)
+        node = len(self.feature)
+        self.feature.append(feature)
+        self.threshold.append(threshold)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(0.0)
+        self.left[node] = self._grow(left_rows, left_targets, depth + 1, rng, feature_count)
+        self.right[node] = self._grow(right_rows, right_targets, depth + 1, rng, feature_count)
+        return node
+
+    def fit(
+        self,
+        rows: list[Sequence[float]],
+        targets: list[float],
+        rng: random.Random,
+        feature_fraction: float = DEFAULT_FEATURE_FRACTION,
+    ) -> "RegressionTree":
+        if not rows:
+            raise ValueError("cannot fit a tree on zero rows")
+        total_features = len(rows[0])
+        feature_count = max(1, round(feature_fraction * total_features))
+        root = self._grow(list(rows), list(targets), 0, rng, feature_count)
+        assert root == 0
+        return self
+
+    def predict_row(self, row: Sequence[float]) -> float:
+        node = 0
+        while self.feature[node] >= 0:
+            if row[self.feature[node]] <= self.threshold[node]:
+                node = self.left[node]
+            else:
+                node = self.right[node]
+        return self.value[node]
+
+    def predict_batch(self, rows: list[Sequence[float]]) -> list[float]:
+        """Predict every row; numpy partitions the batch when available.
+
+        The numpy path recursively splits an index array with the same
+        ``row[feature] <= threshold`` comparison the scalar walk uses, so
+        both paths return identical floats for identical inputs.
+        """
+        if _np is None or not rows:
+            return [self.predict_row(row) for row in rows]
+        matrix = _np.asarray(rows, dtype=float)
+        out = _np.empty(len(rows), dtype=float)
+
+        def descend(node: int, indices) -> None:
+            if self.feature[node] < 0:
+                out[indices] = self.value[node]
+                return
+            mask = matrix[indices, self.feature[node]] <= self.threshold[node]
+            descend(self.left[node], indices[mask])
+            descend(self.right[node], indices[~mask])
+
+        descend(0, _np.arange(len(rows)))
+        return out.tolist()
+
+
+class RandomForest:
+    """Bootstrap-bagged ensemble of :class:`RegressionTree`.
+
+    Prediction is the tree mean.  Training order is fixed (tree by tree,
+    each drawing its bootstrap sample then growing from the shared seeded
+    ``rng``), so a forest built from a given RNG state is reproducible.
+    """
+
+    def __init__(
+        self,
+        trees: int = 12,
+        max_depth: int = 6,
+        min_samples: int = 2,
+        feature_fraction: float = DEFAULT_FEATURE_FRACTION,
+    ) -> None:
+        if trees <= 0:
+            raise ValueError("trees must be positive")
+        self.tree_count = trees
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.feature_fraction = feature_fraction
+        self.trees: list[RegressionTree] = []
+
+    def fit(
+        self,
+        rows: list[Sequence[float]],
+        targets: list[float],
+        rng: random.Random,
+    ) -> "RandomForest":
+        if not rows:
+            raise ValueError("cannot fit a forest on zero rows")
+        if len(rows) != len(targets):
+            raise ValueError("rows and targets must have equal length")
+        self.trees = []
+        count = len(rows)
+        for _ in range(self.tree_count):
+            picks = [rng.randrange(count) for _ in range(count)]
+            tree = RegressionTree(self.max_depth, self.min_samples)
+            tree.fit(
+                [rows[i] for i in picks],
+                [targets[i] for i in picks],
+                rng,
+                self.feature_fraction,
+            )
+            self.trees.append(tree)
+        return self
+
+    def predict_row(self, row: Sequence[float]) -> float:
+        return sum(tree.predict_row(row) for tree in self.trees) / len(self.trees)
+
+    def predict_batch(self, rows: list[Sequence[float]]) -> list[float]:
+        if not rows:
+            return []
+        totals = [0.0] * len(rows)
+        for tree in self.trees:
+            for index, value in enumerate(tree.predict_batch(rows)):
+                totals[index] += value
+        return [total / len(self.trees) for total in totals]

@@ -151,6 +151,8 @@ class LiveDashboardSink:
                 f"pruned {strategy.prune_skipped}"
                 f"+{strategy.prune_predicted} predicted"
             )
+            if getattr(strategy, "surrogate_skips", 0):
+                counters.append(f"surrogate {strategy.surrogate_skips}")
         if counters:
             lines.append("counters: " + " | ".join(counters))
         if self._windows is not None:

@@ -320,3 +320,18 @@ class TestListCommand:
     def test_rejects_unknown_kind(self, capsys):
         with pytest.raises(SystemExit):
             main(["list", "gadgets"])
+
+    def test_strategies_show_their_params_signature(self, capsys):
+        assert main(["list", "strategies"]) == 0
+        output = capsys.readouterr().out
+        # Every SearchStrategy-backed entry advertises its tunable params
+        # with defaults; the budget default comes from the registry entry.
+        assert "params: budget=200, population=16, offspring=16" in output
+        assert (
+            "params: budget=200, initial=16, candidates=128, "
+            "surrogate_fraction=0.125, trees=12, depth=6"
+        ) in output
+        assert "params: budget=200, startup=16, batch=8" in output
+        # The exhaustive runner has no budget and must stay signature-free.
+        exhaustive_block = output.split("exhaustive", 1)[1].split("hillclimb")[0]
+        assert "params:" not in exhaustive_block

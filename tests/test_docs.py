@@ -35,6 +35,7 @@ DOC_FILES = [
     REPO / "docs" / "distributed.md",
     REPO / "docs" / "exploring.md",
     REPO / "docs" / "performance.md",
+    REPO / "docs" / "search.md",
     REPO / "docs" / "store.md",
     REPO / "docs" / "workloads.md",
 ]
@@ -243,6 +244,32 @@ class TestStoreDocRuns:
         assert cold == warm
         # The conversion emitted a jsonl twin of the binary store.
         assert (tmp_path / "results.jsonl").exists()
+
+
+class TestSearchDocRuns:
+    def test_search_doc_runs_verbatim(self, tmp_path, monkeypatch, capsys):
+        """Every sh and python block of docs/search.md, in order."""
+        monkeypatch.chdir(tmp_path)
+        text = (REPO / "docs" / "search.md").read_text(encoding="utf-8")
+        for language, body in FENCE.findall(text):
+            if language == "sh":
+                for line in dmexplore_lines([body]):
+                    assert run_line(line) == 0, f"search doc command failed: {line}"
+            elif language == "python":
+                exec(compile(body, "search.md", "exec"), {})
+        output = capsys.readouterr().out
+        # The doc's promises hold: `list strategies` advertises the whole
+        # portfolio with its tunable parameters ...
+        for name in ("nsga2", "tpe", "surrogate"):
+            assert name in output
+        assert "params: budget=" in output
+        # ... the CLI surrogate run produced a front ...
+        assert "Pareto-optimal" in output
+        assert (tmp_path / "surrogate.json").exists()
+        # ... the hypervolume block measured all three portfolio members ...
+        assert output.count("of the exhaustive hypervolume") == 3
+        # ... and the model-skip block exercised the surrogate counter.
+        assert "model ranked out" in output
 
 
 class TestTutorialRuns:

@@ -321,6 +321,62 @@ class TestSeedDeterminismAcrossStrategies:
         assert interleaved == alone_points
 
 
+class TestRegistryStrategiesBackendIdentity:
+    """Every strategy reachable through the registry — including the
+    surrogate portfolio — must produce a byte-identical database serially,
+    under a process pool, and across repeat runs with the same seed."""
+
+    # Small per-strategy params so each run fits a 12-evaluation budget and
+    # still exercises the model-guided phases (surrogate forests, TPE
+    # densities, NSGA-II generations).
+    PARAMS = {
+        "exhaustive": {},
+        "random": {},
+        "hillclimb": {},
+        "evolutionary": {"population": 4, "offspring": 4},
+        "nsga2": {"population": 4, "offspring": 4},
+        "tpe": {"startup": 4, "batch": 4, "candidates": 16},
+        "surrogate": {
+            "initial": 5,
+            "candidates": 24,
+            "surrogate_fraction": 0.25,
+            "trees": 4,
+            "depth": 3,
+        },
+    }
+
+    def _run(self, name, trace, backend=None):
+        from repro.api import registry
+
+        entry = registry.strategies.get(name)
+        space = (
+            smoke_parameter_space() if name == "exhaustive" else compact_parameter_space()
+        )
+        engine = ExplorationEngine(space, trace, backend=backend)
+        kwargs = dict(self.PARAMS[name])
+        if name != "exhaustive":
+            kwargs["budget"] = 12
+        return entry.factory(engine, seed=7, **kwargs)
+
+    def test_every_registered_strategy_is_covered(self):
+        from repro.api import registry
+
+        assert sorted(self.PARAMS) == registry.strategies.names()
+
+    @pytest.mark.parametrize("name", sorted(PARAMS))
+    def test_serial_pool_and_repeat_runs_byte_identical(
+        self, name, small_trace, tmp_path, pool_backend
+    ):
+        serial = self._run(name, small_trace)
+        repeat = self._run(name, small_trace)
+        pooled = self._run(name, small_trace, backend=pool_backend)
+        reference = database_bytes(serial, tmp_path, "serial.json")
+        assert reference == database_bytes(repeat, tmp_path, "repeat.json")
+        assert reference == database_bytes(pooled, tmp_path, "pool.json")
+        assert pareto_ids(serial) == pareto_ids(pooled)
+        assert len(serial) > 0
+
+
 class TestWorkerPayloads:
     """The process-pool backend must ship O(points) per chunk, not O(trace).
 

@@ -7,12 +7,14 @@ import pytest
 from repro.core.pareto import (
     IncrementalParetoFront,
     dominates,
+    hypervolume,
     hypervolume_2d,
     knee_point,
     non_dominated,
     pareto_front,
     pareto_front_indices,
     pareto_rank,
+    reference_point,
     sort_front,
 )
 
@@ -161,6 +163,113 @@ class TestHypervolume:
 
     def test_non_2d_vectors_are_ignored(self):
         assert hypervolume_2d([(1, 1, 1)], reference=(3, 3)) == 0.0
+
+
+class TestHypervolumeND:
+    """The WFG-style n-D hypervolume (repro.core.pareto.hypervolume)."""
+
+    def test_single_point_3d(self):
+        # Box from (1, 1, 1) to (3, 3, 3): volume 2 * 2 * 2.
+        assert hypervolume([(1, 1, 1)], reference=(3, 3, 3)) == pytest.approx(8.0)
+
+    def test_two_points_3d_inclusion_exclusion(self):
+        # Each box has volume 2*1*2 = 4; their overlap (from the
+        # componentwise max (2, 2, 1) to the reference) has volume 1*1*2.
+        value = hypervolume([(1, 2, 1), (2, 1, 1)], reference=(3, 3, 3))
+        assert value == pytest.approx(4.0 + 4.0 - 2.0)
+
+    def test_dominated_and_duplicate_points_add_nothing(self):
+        base = hypervolume([(1, 1, 1)], reference=(3, 3, 3))
+        noisy = hypervolume(
+            [(1, 1, 1), (2, 2, 2), (1, 1, 1)], reference=(3, 3, 3)
+        )
+        assert noisy == pytest.approx(base)
+
+    def test_points_outside_or_on_the_reference_contribute_nothing(self):
+        assert hypervolume([(4, 1, 1)], reference=(3, 3, 3)) == 0.0
+        assert hypervolume([(3, 3, 3)], reference=(3, 3, 3)) == 0.0
+        assert hypervolume([], reference=(3, 3, 3)) == 0.0
+
+    def test_adding_a_tradeoff_point_grows_the_volume(self):
+        small = hypervolume([(2, 2, 2)], reference=(4, 4, 4))
+        large = hypervolume([(2, 2, 2), (1, 3, 2)], reference=(4, 4, 4))
+        assert large > small
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hypervolume([(1, 1)], reference=(3, 3, 3))
+
+    def test_monotone_in_the_front(self):
+        # A superset front never has smaller hypervolume.
+        rng = random.Random(5)
+        reference = (1.0, 1.0, 1.0, 1.0)
+        points = [
+            tuple(rng.random() for _ in range(4)) for _ in range(12)
+        ]
+        grown = 0.0
+        for count in range(1, len(points) + 1):
+            value = hypervolume(points[:count], reference)
+            assert value >= grown - 1e-12
+            grown = value
+
+    def test_property_matches_hypervolume_2d(self):
+        # On random 2-D inputs the n-D recursion must agree exactly with
+        # the dedicated sweep implementation.
+        rng = random.Random(17)
+        for _ in range(200):
+            count = rng.randrange(1, 12)
+            points = [
+                (rng.randrange(0, 20) / 2, rng.randrange(0, 20) / 2)
+                for _ in range(count)
+            ]
+            reference = (10.0, 10.0)
+            assert hypervolume(points, reference) == pytest.approx(
+                hypervolume_2d(points, reference), abs=1e-9
+            )
+
+    def test_3d_agrees_with_monte_carlo(self):
+        rng = random.Random(29)
+        points = [tuple(rng.random() for _ in range(3)) for _ in range(6)]
+        reference = (1.0, 1.0, 1.0)
+        exact = hypervolume(points, reference)
+        samples = 20000
+        hits = 0
+        for _ in range(samples):
+            sample = tuple(rng.random() for _ in range(3))
+            if any(
+                all(p <= s for p, s in zip(point, sample)) for point in points
+            ):
+                hits += 1
+        assert exact == pytest.approx(hits / samples, abs=0.02)
+
+
+class TestReferencePoint:
+    def test_worst_corner_plus_margin(self):
+        reference = reference_point([(0, 10), (10, 0)], margin=0.1)
+        assert reference == pytest.approx((11.0, 11.0))
+
+    def test_zero_span_axis_still_pushed_out(self):
+        reference = reference_point([(5, 1), (5, 2)], margin=0.1)
+        assert reference[0] > 5.0
+        assert reference[1] == pytest.approx(2.1)
+
+    def test_zero_value_zero_span_axis(self):
+        reference = reference_point([(0.0,)], margin=0.1)
+        assert reference[0] > 0.0
+
+    def test_every_vector_strictly_inside(self):
+        rng = random.Random(3)
+        vectors = [tuple(rng.uniform(-5, 5) for _ in range(4)) for _ in range(30)]
+        reference = reference_point(vectors)
+        for vector in vectors:
+            assert all(value < bound for value, bound in zip(vector, reference))
+            assert hypervolume([vector], reference) > 0.0
+
+    def test_empty_and_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            reference_point([])
+        with pytest.raises(ValueError):
+            reference_point([(1, 2)], margin=-0.5)
 
 
 class TestKneePoint:

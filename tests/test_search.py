@@ -173,7 +173,11 @@ class TestDominancePruning:
         assert summary["pruning"] == {
             "skipped": search.prune_skipped,
             "predicted": search.prune_predicted,
+            "surrogate": search.surrogate_skips,
         }
+        # Surrogate (quorum) skips are a subset of all skips.
+        assert 0 <= search.surrogate_skips <= search.prune_skipped
+        assert database.surrogate_skips == search.surrogate_skips
         path = tmp_path / "db.json"
         database.to_json(path)
         from repro.core.results import ResultDatabase
@@ -181,6 +185,7 @@ class TestDominancePruning:
         loaded = ResultDatabase.from_json(path)
         assert loaded.prune_skipped == search.prune_skipped
         assert loaded.prune_predicted == search.prune_predicted
+        assert loaded.surrogate_skips == search.surrogate_skips
         from repro.core.reporting import exploration_report
 
         report = exploration_report(database)
